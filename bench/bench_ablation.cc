@@ -1,0 +1,119 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  (1) preprocessing reuse — scoring all five type-A metrics with one
+//      shared coreness-count pass vs recomputing it per metric;
+//  (2) preprocessing weight — BKS's adjacency re-ordering (bin sort) vs
+//      PBKS's coreness counts, the "lighter preprocessing" claim of
+//      Section IV-A;
+//  (3) serial scaling — serial PHCD vs LCPS across growing RMAT graphs,
+//      the paper's observation that the gap widens with graph size;
+//  (4) divide and conquer — the Section III-E paradigm (partition, partial
+//      nodes, RC-based merge) against PHCD, the paper's feasibility
+//      argument;
+//  (5) hierarchy-depth sweep — PHCD/LCPS/LB on onion graphs of growing
+//      k_max at roughly constant edge count (per-level round overhead).
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/divide_conquer.h"
+#include "hcd/lcps.h"
+#include "hcd/lower_bound.h"
+#include "hcd/phcd.h"
+#include "search/bks.h"
+#include "search/pbks.h"
+#include "search/searcher.h"
+
+int main() {
+  hcd::bench::PrintHardwareBanner("Ablations");
+  auto suite = hcd::bench::LoadBenchSuite();
+
+  std::printf("-- (1) preprocessing reuse across the 5 type-A metrics --\n");
+  std::printf("%-4s | %12s %12s %8s\n", "ds", "shared (s)", "per-call (s)",
+              "saving");
+  const hcd::Metric type_a[] = {
+      hcd::Metric::kAverageDegree, hcd::Metric::kInternalDensity,
+      hcd::Metric::kCutRatio, hcd::Metric::kConductance,
+      hcd::Metric::kModularity};
+  for (auto& ds : suite) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+    hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+    const double shared = hcd::bench::TimeIt([&] {
+      hcd::SubgraphSearcher searcher(g, cd, forest);
+      for (hcd::Metric m : type_a) searcher.Search(m);
+    });
+    const double per_call = hcd::bench::TimeIt([&] {
+      for (hcd::Metric m : type_a) hcd::PbksSearch(g, cd, forest, m);
+    });
+    std::printf("%-4s | %12.4f %12.4f %7.2fx\n", ds.name.c_str(), shared,
+                per_call, per_call / shared);
+  }
+
+  std::printf("\n-- (2) preprocessing weight: BKS ordering vs PBKS counts --\n");
+  std::printf("%-4s | %14s %14s %8s\n", "ds", "BKS index (s)",
+              "PBKS pre (s)", "ratio");
+  for (auto& ds : suite) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+    const double bks_index =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::BuildBksIndex(g, cd); });
+    const double pbks_pre = hcd::bench::TimeWithThreads(
+        1, [&] { hcd::PreprocessCorenessCounts(g, cd); });
+    std::printf("%-4s | %14.4f %14.4f %7.2fx\n", ds.name.c_str(), bks_index,
+                pbks_pre, bks_index / pbks_pre);
+  }
+
+  std::printf("\n-- (3) serial PHCD vs LCPS as graphs grow (RMAT) --\n");
+  std::printf("%-8s %12s | %10s %10s %8s\n", "scale", "m", "LCPS (s)",
+              "PHCD (s)", "ratio");
+  const bool small = hcd::bench::SmallBenchRequested();
+  for (uint32_t scale = 12; scale <= (small ? 14u : 17u); ++scale) {
+    hcd::Graph g = hcd::RMatGraph500(scale, 12ull << scale, 1000 + scale);
+    hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(g);
+    const double lcps =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::LcpsBuild(g, cd); }, 2);
+    const double phcd =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::PhcdBuild(g, cd); }, 2);
+    std::printf("%-8u %12llu | %10.3f %10.3f %7.2fx\n", scale,
+                static_cast<unsigned long long>(g.NumEdges()), lcps, phcd,
+                lcps / phcd);
+  }
+
+  std::printf("\n-- (4) divide-and-conquer (Section III-E) vs PHCD --\n");
+  std::printf("%-4s | %10s %14s %8s\n", "ds", "PHCD (s)", "D&C(8 parts)",
+              "slower");
+  for (auto& ds : suite) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+    const double phcd =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::PhcdBuild(g, cd); }, 2);
+    const double dnc = hcd::bench::TimeWithThreads(
+        1, [&] { hcd::DivideAndConquerHcd(g, cd, 8); });
+    std::printf("%-4s | %10.3f %14.3f %7.2fx\n", ds.name.c_str(), phcd, dnc,
+                dnc / phcd);
+  }
+
+  std::printf("\n-- (5) hierarchy-depth sweep (onion, ~constant m) --\n");
+  std::printf("%-8s %10s %8s | %10s %10s %8s\n", "k_max", "m", "|T|",
+              "LCPS (s)", "PHCD (s)", "LB (s)");
+  for (uint32_t k_max : {20u, 40u, 80u, 160u}) {
+    // Shell size chosen so total edges ~ shell * k_max^2 / 2 stays put.
+    const hcd::VertexId shell =
+        static_cast<hcd::VertexId>(4000000ull / (k_max * k_max));
+    hcd::Graph g = hcd::PlantedHierarchy(hcd::OnionSpec(k_max, shell), 7);
+    hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(g);
+    const double lcps =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::LcpsBuild(g, cd); }, 2);
+    const double phcd =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::PhcdBuild(g, cd); }, 2);
+    const double lb = hcd::bench::TimeWithThreads(
+        1, [&] { hcd::UnionFindLowerBound(g, cd); }, 2);
+    std::printf("%-8u %10llu %8u | %10.3f %10.3f %8.3f\n", k_max,
+                static_cast<unsigned long long>(g.NumEdges()), k_max, lcps,
+                phcd, lb);
+  }
+  return 0;
+}

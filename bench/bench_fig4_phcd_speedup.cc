@@ -1,0 +1,32 @@
+// Figure 4: PHCD's speedup over serial LCPS as the thread count grows.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "core/core_decomposition.h"
+#include "hcd/lcps.h"
+#include "hcd/phcd.h"
+
+int main() {
+  hcd::bench::PrintHardwareBanner("Figure 4: PHCD's speedup to LCPS");
+  const auto threads = hcd::bench::ThreadSweep();
+  std::printf("%-4s | %9s |", "ds", "LCPS (s)");
+  for (int p : threads) std::printf("  p=%-5d", p);
+  std::printf("   (speedup ratio = LCPS / PHCD(p))\n\n");
+
+  for (auto& ds : hcd::bench::LoadBenchSuite()) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(g);
+    const double lcps =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::LcpsBuild(g, cd); }, 3);
+    std::printf("%-4s | %9.3f |", ds.name.c_str(), lcps);
+    for (int p : threads) {
+      const double t =
+          hcd::bench::TimeWithThreads(p, [&] { hcd::PhcdBuild(g, cd); }, 3);
+      std::printf(" %7.2fx", lcps / t);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 6: PBKS's speedup to BKS on type-A score computation
+// (conductance), preprocessing excluded on both sides.
+
+#include "bench/bench_search_figures.h"
+
+int main() {
+  return hcd::bench::RunSearchSpeedupFigure(
+      "Figure 6: PBKS's speedup to BKS (type-A score computation)",
+      /*type_b=*/false, /*include_input=*/false);
+}

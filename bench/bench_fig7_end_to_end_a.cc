@@ -1,0 +1,11 @@
+// Figure 7: (PKC + PHCD + PBKS)'s speedup to (PKC + LCPS + BKS) for a
+// type-A metric — subgraph search including the cost of computing the
+// inputs (core decomposition, HCD construction, preprocessing).
+
+#include "bench/bench_search_figures.h"
+
+int main() {
+  return hcd::bench::RunSearchSpeedupFigure(
+      "Figure 7: PKC+PHCD+PBKS's speedup to PKC+LCPS+BKS (type-A)",
+      /*type_b=*/false, /*include_input=*/true);
+}

@@ -1,0 +1,10 @@
+// Figure 8: PBKS's speedup to BKS on type-B score computation (clustering
+// coefficient), preprocessing excluded on both sides.
+
+#include "bench/bench_search_figures.h"
+
+int main() {
+  return hcd::bench::RunSearchSpeedupFigure(
+      "Figure 8: PBKS's speedup to BKS (type-B score computation)",
+      /*type_b=*/true, /*include_input=*/false);
+}

@@ -1,0 +1,11 @@
+// Figure 9: (PKC + PHCD + PBKS)'s speedup to (PKC + LCPS + BKS) for a
+// type-B metric — subgraph search including the cost of computing the
+// inputs.
+
+#include "bench/bench_search_figures.h"
+
+int main() {
+  return hcd::bench::RunSearchSpeedupFigure(
+      "Figure 9: PKC+PHCD+PBKS's speedup to PKC+LCPS+BKS (type-B)",
+      /*type_b=*/true, /*include_input=*/true);
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations: union-
+// find variants, vertex rank, the two preprocessing flavors, primary-value
+// passes, and the construction algorithms, on a fixed mid-size graph.
+
+#include <benchmark/benchmark.h>
+
+#include "core/core_decomposition.h"
+#include "core/julienne.h"
+#include "graph/generators.h"
+#include "hcd/lcps.h"
+#include "hcd/phcd.h"
+#include "hcd/vertex_rank.h"
+#include "parallel/union_find.h"
+#include "parallel/wf_union_find.h"
+#include "search/bks.h"
+#include "search/pbks.h"
+#include "search/preprocess.h"
+
+namespace {
+
+struct Fixture {
+  hcd::Graph graph = hcd::BarabasiAlbert(50000, 8, 77);
+  hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(graph);
+  hcd::VertexRank vr = hcd::ComputeVertexRank(cd);
+  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  hcd::CorenessNeighborCounts pre = hcd::PreprocessCorenessCounts(graph, cd);
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_SequentialUnionFind(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    hcd::UnionFind uf(f.graph.NumVertices(), f.vr.rank.data());
+    for (hcd::VertexId v = 0; v < f.graph.NumVertices(); ++v) {
+      for (hcd::VertexId u : f.graph.Neighbors(v)) {
+        if (u > v) uf.Union(u, v);
+      }
+    }
+    benchmark::DoNotOptimize(uf.GetPivot(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.NumEdges());
+}
+BENCHMARK(BM_SequentialUnionFind);
+
+void BM_WaitFreeUnionFind(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    hcd::WaitFreeUnionFind uf(f.graph.NumVertices(), f.vr.rank.data());
+    for (hcd::VertexId v = 0; v < f.graph.NumVertices(); ++v) {
+      for (hcd::VertexId u : f.graph.Neighbors(v)) {
+        if (u > v) uf.Union(u, v);
+      }
+    }
+    benchmark::DoNotOptimize(uf.GetPivot(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.NumEdges());
+}
+BENCHMARK(BM_WaitFreeUnionFind);
+
+void BM_BzCoreDecomposition(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::BzCoreDecomposition(f.graph));
+  }
+}
+BENCHMARK(BM_BzCoreDecomposition);
+
+void BM_JulienneCoreDecomposition(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::JulienneCoreDecomposition(f.graph));
+  }
+}
+BENCHMARK(BM_JulienneCoreDecomposition);
+
+void BM_PkcCoreDecomposition(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::PkcCoreDecomposition(f.graph));
+  }
+}
+BENCHMARK(BM_PkcCoreDecomposition);
+
+void BM_VertexRank(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::ComputeVertexRank(f.cd));
+  }
+}
+BENCHMARK(BM_VertexRank);
+
+void BM_PbksPreprocess(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::PreprocessCorenessCounts(f.graph, f.cd));
+  }
+}
+BENCHMARK(BM_PbksPreprocess);
+
+void BM_BksIndex(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::BuildBksIndex(f.graph, f.cd));
+  }
+}
+BENCHMARK(BM_BksIndex);
+
+void BM_LcpsBuild(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::LcpsBuild(f.graph, f.cd));
+  }
+}
+BENCHMARK(BM_LcpsBuild);
+
+void BM_PhcdBuild(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::PhcdBuild(f.graph, f.cd));
+  }
+}
+BENCHMARK(BM_PhcdBuild);
+
+void BM_TypeAPrimary(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcd::PbksTypeAPrimary(f.graph, f.cd, f.forest, f.pre));
+  }
+}
+BENCHMARK(BM_TypeAPrimary);
+
+void BM_TypeBPrimary(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcd::PbksTypeBPrimary(f.graph, f.cd, f.forest, f.vr, f.pre));
+  }
+}
+BENCHMARK(BM_TypeBPrimary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table III: time cost of HCD construction.
+//
+// Per dataset: PHCD serial seconds with the relative position of the
+// union-find lower bound LB (LB/PHCD, "x") and the serial LCPS
+// (LCPS/PHCD, "x"); then PHCD at the maximum swept thread count with LB and
+// the local-k-core-search experiment RC at the same thread count.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "core/core_decomposition.h"
+#include "hcd/lcps.h"
+#include "hcd/local_core_search.h"
+#include "hcd/lower_bound.h"
+#include "hcd/phcd.h"
+
+int main() {
+  hcd::bench::PrintHardwareBanner("Table III: time cost of HCD construction");
+  const int pmax = hcd::bench::ThreadSweep().back();
+  std::printf("%-4s | %10s %7s %7s | %10s %7s %8s\n", "ds", "PHCD(1) s",
+              "LB", "LCPS", "PHCD(p) s", "LB", "RC");
+  std::printf("     |  (serial)  (x)     (x)  |  (p=%-2d)     (x)     (x)\n\n",
+              pmax);
+
+  for (auto& ds : hcd::bench::LoadBenchSuite()) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(g);
+
+    hcd::HcdForest forest;
+    const double phcd1 = hcd::bench::TimeWithThreads(
+        1, [&] { forest = hcd::PhcdBuild(g, cd); }, 3);
+    const double lb1 =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::UnionFindLowerBound(g, cd); }, 3);
+    const double lcps =
+        hcd::bench::TimeWithThreads(1, [&] { hcd::LcpsBuild(g, cd); }, 3);
+
+    const double phcdp =
+        hcd::bench::TimeWithThreads(pmax, [&] { hcd::PhcdBuild(g, cd); }, 3);
+    const double lbp = hcd::bench::TimeWithThreads(
+        pmax, [&] { hcd::UnionFindLowerBound(g, cd); }, 3);
+    const double rcp = hcd::bench::TimeWithThreads(
+        pmax, [&] { hcd::RcComputeParents(g, cd, forest); });
+
+    std::printf("%-4s | %10.3f %6.2fx %6.2fx | %10.3f %6.2fx %7.2fx\n",
+                ds.name.c_str(), phcd1, lb1 / phcd1, lcps / phcd1, phcdp,
+                lbp / phcdp, rcp / phcdp);
+  }
+  std::printf(
+      "\nLB = pivot union-find over every edge (lower bound for the\n"
+      "paradigm); LCPS = serial state of the art; RC = local k-core search\n"
+      "(the divide-and-conquer primitive). Columns are ratios to PHCD of\n"
+      "the same thread count, matching the paper's Table III layout.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table V: runtime of subgraph search — PBKS at the maximum swept thread
+// count (seconds) and its speedup over the serial BKS, for a type-A metric
+// (conductance) and a type-B metric (clustering coefficient).
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "core/core_decomposition.h"
+#include "hcd/phcd.h"
+#include "search/bks.h"
+#include "search/pbks.h"
+
+int main() {
+  hcd::bench::PrintHardwareBanner("Table V: runtime of subgraph search");
+  const int pmax = hcd::bench::ThreadSweep().back();
+  std::printf("%-4s | %12s %9s | %12s %9s\n", "ds", "Type-A (s)", "vs BKS",
+              "Type-B (s)", "vs BKS");
+  std::printf("     |   (p=%-2d)              |   (p=%-2d)\n\n", pmax, pmax);
+
+  for (auto& ds : hcd::bench::LoadBenchSuite()) {
+    const hcd::Graph& g = ds.graph;
+    hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+    hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+
+    const double pbks_a = hcd::bench::TimeWithThreads(pmax, [&] {
+      hcd::PbksSearch(g, cd, forest, hcd::Metric::kConductance);
+    });
+    const double bks_a = hcd::bench::TimeWithThreads(1, [&] {
+      hcd::BksSearch(g, cd, forest, hcd::Metric::kConductance);
+    });
+    const double pbks_b = hcd::bench::TimeWithThreads(pmax, [&] {
+      hcd::PbksSearch(g, cd, forest, hcd::Metric::kClusteringCoefficient);
+    });
+    const double bks_b = hcd::bench::TimeWithThreads(1, [&] {
+      hcd::BksSearch(g, cd, forest, hcd::Metric::kClusteringCoefficient);
+    });
+
+    std::printf("%-4s | %12.4f %8.2fx | %12.4f %8.2fx\n", ds.name.c_str(),
+                pbks_a, bks_a / pbks_a, pbks_b, bks_b / pbks_b);
+  }
+  std::printf("\n(Type-A = conductance; type-B = clustering coefficient.\n"
+              "Times include each algorithm's own preprocessing.)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef HCD_BENCH_BENCH_UTIL_H_
+#define HCD_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/timer.h"
+#include "parallel/omp_utils.h"
+
+namespace hcd::bench {
+
+/// Wall-clock seconds of `fn` (best of `reps` runs; best-of suppresses
+/// one-off allocator / page-fault noise, the usual convention for
+/// single-shot algorithm timings).
+inline double TimeIt(const std::function<void()>& fn, int reps = 1) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    const double s = timer.Seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Times `fn` under a fixed OpenMP thread count.
+inline double TimeWithThreads(int threads, const std::function<void()>& fn,
+                              int reps = 1) {
+  ThreadCountGuard guard(threads);
+  return TimeIt(fn, reps);
+}
+
+/// Thread counts swept by the scaling figures. The paper sweeps 1..40 on a
+/// 40-core box; this machine's hardware concurrency is reported alongside
+/// so readers can interpret >hardware counts as oversubscription.
+inline std::vector<int> ThreadSweep() { return {1, 2, 4, 8}; }
+
+inline void PrintHardwareBanner(const char* title) {
+  std::printf("== %s ==\n", title);
+  std::printf("(hardware threads available: %d; thread counts beyond this "
+              "are oversubscribed)\n\n",
+              HardwareThreads());
+}
+
+}  // namespace hcd::bench
+
+#endif  // HCD_BENCH_BENCH_UTIL_H_

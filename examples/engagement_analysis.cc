@@ -1,0 +1,77 @@
+// User-engagement analysis (a headline HCD application, Section I): treats
+// coreness as an engagement estimate and shows how the HCD refines it —
+// users with the same coreness can sit in different k-cores, whose sizes
+// and densities differ, which [15] found improves engagement prediction.
+//
+// Run: ./build/examples/engagement_analysis [n] [edges-per-vertex] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/phcd.h"
+#include "search/pbks.h"
+#include "search/preprocess.h"
+
+int main(int argc, char** argv) {
+  const hcd::VertexId n = argc > 1 ? std::atoi(argv[1]) : 50000;
+  const hcd::VertexId epv = argc > 2 ? std::atoi(argv[2]) : 5;
+  const uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 3;
+
+  hcd::Graph graph = hcd::BarabasiAlbert(n, epv, seed);
+  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(graph);
+  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+
+  // Engagement proxy per coreness level: average degree of users at that
+  // coreness (degree plays the role of check-in counts in [14]).
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> by_coreness;  // sum, cnt
+  for (hcd::VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto& [sum, cnt] = by_coreness[cd.coreness[v]];
+    sum += graph.Degree(v);
+    ++cnt;
+  }
+  std::printf("== engagement (avg degree) by coreness ==\n");
+  uint32_t printed = 0;
+  for (const auto& [k, agg] : by_coreness) {
+    if (++printed % std::max<size_t>(1, by_coreness.size() / 12) != 0) {
+      continue;
+    }
+    std::printf("  coreness %-4u users=%-7llu avg_engagement=%.2f\n", k,
+                static_cast<unsigned long long>(agg.second),
+                static_cast<double>(agg.first) / agg.second);
+  }
+
+  // HCD refinement: users of the same coreness split across tree nodes;
+  // report the per-node core densities at the most populated level.
+  uint32_t busiest_level = 0;
+  uint64_t busiest_count = 0;
+  for (const auto& [k, agg] : by_coreness) {
+    if (k > 0 && agg.second > busiest_count) {
+      busiest_level = k;
+      busiest_count = agg.second;
+    }
+  }
+  const auto pre = hcd::PreprocessCorenessCounts(graph, cd);
+  const auto primary = hcd::PbksTypeAPrimary(graph, cd, forest, pre);
+  std::printf(
+      "\n== HCD refinement at coreness %u: distinct %u-cores and their "
+      "density ==\n",
+      busiest_level, busiest_level);
+  uint32_t shown = 0;
+  for (hcd::TreeNodeId t = 0; t < forest.NumNodes() && shown < 10; ++t) {
+    if (forest.Level(t) != busiest_level) continue;
+    const auto& pv = primary[t];
+    std::printf("  node %-5u shell=%-6zu core_n=%-7llu core_avg_deg=%.2f\n", t,
+                forest.Vertices(t).size(),
+                static_cast<unsigned long long>(pv.n_s),
+                pv.n_s ? static_cast<double>(pv.edges2) / pv.n_s : 0.0);
+    ++shown;
+  }
+  std::printf("(users with equal coreness but different nodes belong to\n"
+              " different communities; [15] uses exactly this distinction)\n");
+  return 0;
+}

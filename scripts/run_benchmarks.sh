@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in order, teeing combined output.
+#
+#   scripts/run_benchmarks.sh [build_dir] [out_file]
+#
+# HCD_BENCH_SMALL=1 in the environment shrinks all datasets ~16x.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a "$OUT"
+  "$b" 2>/dev/null | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace hcd::internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& extra) {
+  std::fprintf(stderr, "HCD_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hcd::internal

@@ -1,0 +1,66 @@
+#ifndef HCD_COMMON_CHECK_H_
+#define HCD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hcd::internal {
+
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& extra);
+
+/// Stream sink used by the CHECK macros so callers can append context with
+/// `<<`. Aborts in the destructor.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  [[noreturn]] ~CheckFailStream() { CheckFail(file_, line_, expr_, oss_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream oss_;
+};
+
+}  // namespace hcd::internal
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in all build
+/// modes: these guard internal invariants whose violation would otherwise
+/// corrupt results silently.
+#define HCD_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::hcd::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define HCD_CHECK_EQ(a, b) HCD_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define HCD_CHECK_NE(a, b) HCD_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define HCD_CHECK_LT(a, b) HCD_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define HCD_CHECK_LE(a, b) HCD_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define HCD_CHECK_GT(a, b) HCD_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define HCD_CHECK_GE(a, b) HCD_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+/// Like HCD_CHECK but compiled out in release builds; use on hot paths.
+#ifndef NDEBUG
+#define HCD_DCHECK(cond) HCD_CHECK(cond)
+#else
+#define HCD_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::hcd::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+#endif
+
+#endif  // HCD_COMMON_CHECK_H_

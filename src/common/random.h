@@ -1,0 +1,48 @@
+#ifndef HCD_COMMON_RANDOM_H_
+#define HCD_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace hcd {
+
+/// Deterministic, fast pseudo-random generator (splitmix64 core). Used by the
+/// graph generators and tests so every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    HCD_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free mapping is fine here: the tiny
+    // modulo bias of a plain remainder is irrelevant for graph generation,
+    // but the 128-bit multiply is also faster than '%'.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_COMMON_RANDOM_H_

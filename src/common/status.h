@@ -1,0 +1,87 @@
+#ifndef HCD_COMMON_STATUS_H_
+#define HCD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hcd {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight result of a fallible operation (the library does not use
+/// exceptions). A default-constructed Status is OK. Non-OK statuses carry a
+/// code and a message describing what failed.
+///
+/// Usage:
+///   Status s = LoadEdgeList(path, &edges);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define HCD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::hcd::Status _hcd_status = (expr);          \
+    if (!_hcd_status.ok()) return _hcd_status;   \
+  } while (false)
+
+}  // namespace hcd
+
+#endif  // HCD_COMMON_STATUS_H_

@@ -1,0 +1,185 @@
+#include "core/dynamic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hcd {
+
+DynamicCoreIndex::DynamicCoreIndex(const Graph& graph)
+    : adj_(graph.NumVertices()),
+      num_edges_(graph.NumEdges()),
+      scratch_in_sub_(graph.NumVertices(), false),
+      scratch_cd_(graph.NumVertices(), 0) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto nbrs = graph.Neighbors(v);
+    adj_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  coreness_ = BzCoreDecomposition(graph).coreness;
+}
+
+uint32_t DynamicCoreIndex::KMax() const {
+  uint32_t k = 0;
+  for (uint32_t c : coreness_) k = std::max(k, c);
+  return k;
+}
+
+bool DynamicCoreIndex::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+Graph DynamicCoreIndex::ToGraph() const {
+  std::vector<EdgeIndex> offsets(NumVertices() + 1, 0);
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  }
+  std::vector<VertexId> flat;
+  flat.reserve(offsets.back());
+  for (const auto& list : adj_) flat.insert(flat.end(), list.begin(), list.end());
+  return Graph(std::move(offsets), std::move(flat));
+}
+
+std::vector<VertexId> DynamicCoreIndex::CollectSubcore(
+    const std::vector<VertexId>& roots, uint32_t k) {
+  std::vector<VertexId> sub;
+  std::vector<VertexId> stack;
+  for (VertexId r : roots) {
+    if (coreness_[r] == k && !scratch_in_sub_[r]) {
+      scratch_in_sub_[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    sub.push_back(v);
+    for (VertexId u : adj_[v]) {
+      if (coreness_[u] == k && !scratch_in_sub_[u]) {
+        scratch_in_sub_[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return sub;
+}
+
+Status DynamicCoreIndex::InsertEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (HasEdge(u, v)) return Status::InvalidArgument("edge already present");
+
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+
+  const uint32_t k = std::min(coreness_[u], coreness_[v]);
+
+  // Purecore pruning: a vertex can only rise to k+1 if more than k of its
+  // neighbors sit at coreness >= k (its MCD), and the risen set is
+  // connected to the new edge through such vertices; BFS only through
+  // them.
+  auto mcd_above_k = [&](VertexId w) {
+    uint32_t mcd = 0;
+    for (VertexId x : adj_[w]) {
+      if (coreness_[x] >= k && ++mcd > k) return true;
+    }
+    return false;
+  };
+  std::vector<VertexId> sub;
+  std::vector<VertexId> stack_bfs;
+  for (VertexId r : {u, v}) {
+    if (coreness_[r] == k && !scratch_in_sub_[r] && mcd_above_k(r)) {
+      scratch_in_sub_[r] = true;
+      stack_bfs.push_back(r);
+    }
+  }
+  while (!stack_bfs.empty()) {
+    VertexId w = stack_bfs.back();
+    stack_bfs.pop_back();
+    sub.push_back(w);
+    for (VertexId x : adj_[w]) {
+      if (coreness_[x] == k && !scratch_in_sub_[x] && mcd_above_k(x)) {
+        scratch_in_sub_[x] = true;
+        stack_bfs.push_back(x);
+      }
+    }
+  }
+
+  // Candidate degree toward level k+1: neighbors already above k plus
+  // candidate subcore members (pruned equal-coreness neighbors stay at k
+  // and cannot support level k+1).
+  for (VertexId w : sub) {
+    uint32_t cd = 0;
+    for (VertexId x : adj_[w]) {
+      cd += coreness_[x] > k || scratch_in_sub_[x];
+    }
+    scratch_cd_[w] = cd;
+  }
+  // Peel members that cannot reach degree k+1.
+  std::vector<VertexId> stack;
+  for (VertexId w : sub) {
+    if (scratch_cd_[w] <= k) stack.push_back(w);
+  }
+  while (!stack.empty()) {
+    VertexId w = stack.back();
+    stack.pop_back();
+    if (!scratch_in_sub_[w]) continue;
+    scratch_in_sub_[w] = false;  // peeled out of the candidate set
+    for (VertexId x : adj_[w]) {
+      if (scratch_in_sub_[x] && scratch_cd_[x]-- == k + 1) stack.push_back(x);
+    }
+  }
+  for (VertexId w : sub) {
+    if (scratch_in_sub_[w]) {
+      coreness_[w] = k + 1;
+      scratch_in_sub_[w] = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status DynamicCoreIndex::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices() || u == v || !HasEdge(u, v)) {
+    return Status::NotFound("edge not present");
+  }
+  adj_[u].erase(std::lower_bound(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+
+  const uint32_t k = std::min(coreness_[u], coreness_[v]);
+  if (k == 0) return Status::Ok();
+  std::vector<VertexId> roots;
+  if (coreness_[u] == k) roots.push_back(u);
+  if (coreness_[v] == k) roots.push_back(v);
+  std::vector<VertexId> sub = CollectSubcore(roots, k);
+
+  // Support at level k: neighbors of coreness >= k.
+  for (VertexId w : sub) {
+    uint32_t cd = 0;
+    for (VertexId x : adj_[w]) cd += coreness_[x] >= k;
+    scratch_cd_[w] = cd;
+  }
+  std::vector<VertexId> stack;
+  for (VertexId w : sub) {
+    if (scratch_cd_[w] < k) stack.push_back(w);
+  }
+  while (!stack.empty()) {
+    VertexId w = stack.back();
+    stack.pop_back();
+    if (!scratch_in_sub_[w]) continue;
+    scratch_in_sub_[w] = false;
+    coreness_[w] = k - 1;
+    for (VertexId x : adj_[w]) {
+      // x loses w's support at level k whether x is in the subcore or has
+      // higher coreness; only subcore members track cd.
+      if (scratch_in_sub_[x] && scratch_cd_[x]-- == k) stack.push_back(x);
+    }
+  }
+  for (VertexId w : sub) scratch_in_sub_[w] = false;
+  return Status::Ok();
+}
+
+}  // namespace hcd

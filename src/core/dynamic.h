@@ -1,0 +1,72 @@
+#ifndef HCD_CORE_DYNAMIC_H_
+#define HCD_CORE_DYNAMIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// Incrementally maintained core decomposition under single-edge updates
+/// (the traversal/subcore algorithm of the streaming literature the paper
+/// builds on; the substrate of hierarchical core maintenance [15]).
+///
+/// Theory used: inserting or deleting one edge changes any coreness by at
+/// most 1, and the only candidates are vertices with coreness K =
+/// min(c(u), c(v)) reachable from the updated edge through vertices of
+/// coreness exactly K (the *subcore*). Each update therefore:
+///  1. collects the subcore by BFS,
+///  2. computes each member's candidate degree (neighbors of coreness >= K
+///     for deletions, or > K plus subcore members for insertions),
+///  3. peels members below the threshold; the survivors (insert) or the
+///     peeled (delete) change coreness by one.
+/// Cost per update: O(size of the touched subcore + its adjacency), far
+/// below recomputation on large graphs.
+class DynamicCoreIndex {
+ public:
+  /// Copies the graph into a mutable adjacency structure and computes the
+  /// initial decomposition with BZ.
+  explicit DynamicCoreIndex(const Graph& graph);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
+  EdgeIndex NumEdges() const { return num_edges_; }
+
+  /// Current coreness of v.
+  uint32_t Coreness(VertexId v) const { return coreness_[v]; }
+
+  /// Largest current coreness.
+  uint32_t KMax() const;
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Inserts edge {u,v} and updates corenesses. InvalidArgument on
+  /// self-loops, out-of-range ids, or existing edges.
+  Status InsertEdge(VertexId u, VertexId v);
+
+  /// Removes edge {u,v} and updates corenesses. NotFound if absent.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// Materializes the current graph as an immutable CSR Graph (e.g. to
+  /// rebuild the HCD with PhcdBuild after a batch of updates).
+  Graph ToGraph() const;
+
+ private:
+  /// BFS over vertices of coreness exactly `k` starting from `roots`;
+  /// returns the subcore (marks members in scratch_in_sub_).
+  std::vector<VertexId> CollectSubcore(const std::vector<VertexId>& roots,
+                                       uint32_t k);
+
+  std::vector<std::vector<VertexId>> adj_;  // sorted adjacency lists
+  std::vector<uint32_t> coreness_;
+  EdgeIndex num_edges_ = 0;
+
+  // Reusable scratch (cleared after every update).
+  std::vector<bool> scratch_in_sub_;
+  std::vector<uint32_t> scratch_cd_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_CORE_DYNAMIC_H_

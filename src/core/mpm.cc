@@ -1,0 +1,71 @@
+#include "core/mpm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+namespace {
+
+/// h-index of `values`: the largest h such that at least h entries are
+/// >= h. Counting-based, O(|values| + cap).
+uint32_t HIndex(const std::vector<uint32_t>& values, uint32_t cap,
+                std::vector<uint32_t>* scratch) {
+  scratch->assign(cap + 1, 0);
+  for (uint32_t x : values) ++(*scratch)[std::min(x, cap)];
+  uint32_t at_least = 0;
+  for (uint32_t h = cap; h > 0; --h) {
+    at_least += (*scratch)[h];
+    if (at_least >= h) return h;
+  }
+  return 0;
+}
+
+}  // namespace
+
+CoreDecomposition MpmCoreDecomposition(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  CoreDecomposition cd;
+  cd.coreness.assign(n, 0);
+  if (n == 0) return cd;
+
+  std::vector<uint32_t> cur(n);
+  for (VertexId v = 0; v < n; ++v) cur[v] = graph.Degree(v);
+  std::vector<uint32_t> next(n);
+
+  bool changed = true;
+  uint64_t rounds = 0;
+  while (changed) {
+    changed = false;
+    ++rounds;
+    HCD_CHECK_LE(rounds, static_cast<uint64_t>(n) + 1) << "MPM diverged";
+#pragma omp parallel
+    {
+      std::vector<uint32_t> vals;
+      std::vector<uint32_t> scratch;
+      bool local_changed = false;
+#pragma omp for schedule(dynamic, 512)
+      for (int64_t vi = 0; vi < static_cast<int64_t>(n); ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        vals.clear();
+        for (VertexId u : graph.Neighbors(v)) vals.push_back(cur[u]);
+        const uint32_t h = HIndex(vals, cur[v], &scratch);
+        next[v] = h;
+        local_changed |= h != cur[v];
+      }
+      if (local_changed) {
+#pragma omp atomic write
+        changed = true;
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  cd.coreness = std::move(cur);
+  cd.k_max = *std::max_element(cd.coreness.begin(), cd.coreness.end());
+  return cd;
+}
+
+}  // namespace hcd

@@ -1,0 +1,21 @@
+#ifndef HCD_CORE_MPM_H_
+#define HCD_CORE_MPM_H_
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// Core decomposition by iterated h-index (the locality property behind the
+/// distributed MPM algorithm, Montresor et al., cited as [21] by the
+/// paper): start from c_0(v) = d(v) and repeatedly set c_{t+1}(v) to the
+/// h-index of its neighbors' current values; the fixpoint is the coreness.
+/// Converges in at most k_max rounds in practice; each round is an
+/// embarrassingly parallel scan. O(m * rounds) work — slower than PKC in
+/// the worst case but a useful independent parallel implementation (and a
+/// third cross-check of BZ/PKC in tests).
+CoreDecomposition MpmCoreDecomposition(const Graph& graph);
+
+}  // namespace hcd
+
+#endif  // HCD_CORE_MPM_H_

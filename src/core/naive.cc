@@ -1,0 +1,50 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hcd {
+
+CoreDecomposition NaiveCoreDecomposition(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  CoreDecomposition cd;
+  cd.coreness.assign(n, 0);
+  if (n == 0) return cd;
+
+  std::vector<bool> alive(n, true);
+  std::vector<VertexId> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = graph.Degree(v);
+
+  uint32_t k = 1;
+  VertexId remaining = n;
+  while (remaining > 0) {
+    // Strip everything with degree < k; survivors have coreness >= k.
+    std::vector<VertexId> to_remove;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && deg[v] < k) to_remove.push_back(v);
+    }
+    while (!to_remove.empty()) {
+      VertexId v = to_remove.back();
+      to_remove.pop_back();
+      if (!alive[v]) continue;
+      alive[v] = false;
+      --remaining;
+      for (VertexId u : graph.Neighbors(v)) {
+        if (alive[u] && deg[u]-- == k) to_remove.push_back(u);
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) cd.coreness[v] = k;
+    }
+    ++k;
+  }
+  cd.k_max = *std::max_element(cd.coreness.begin(), cd.coreness.end());
+  return cd;
+}
+
+bool VerifyCoreDecomposition(const Graph& graph, const CoreDecomposition& cd) {
+  CoreDecomposition oracle = NaiveCoreDecomposition(graph);
+  return oracle.coreness == cd.coreness && oracle.k_max == cd.k_max;
+}
+
+}  // namespace hcd

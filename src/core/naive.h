@@ -1,0 +1,20 @@
+#ifndef HCD_CORE_NAIVE_H_
+#define HCD_CORE_NAIVE_H_
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// Definition-driven coreness oracle: for each k, strips vertices of degree
+/// below k until a fixpoint, marking survivors with coreness >= k.
+/// O(k_max * m); independent of the bucket-based BZ implementation, so the
+/// two cross-validate each other in tests.
+CoreDecomposition NaiveCoreDecomposition(const Graph& graph);
+
+/// True iff `cd` equals the naive oracle's answer for `graph`.
+bool VerifyCoreDecomposition(const Graph& graph, const CoreDecomposition& cd);
+
+}  // namespace hcd
+
+#endif  // HCD_CORE_NAIVE_H_

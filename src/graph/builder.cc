@@ -1,0 +1,63 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hcd {
+
+VertexId GraphBuilder::MinNumVertices() const {
+  VertexId max_seen = 0;
+  bool any = false;
+  for (const auto& [u, v] : edges_) {
+    max_seen = std::max({max_seen, u, v});
+    any = true;
+  }
+  return any ? max_seen + 1 : 0;
+}
+
+Graph GraphBuilder::Build(VertexId num_vertices) && {
+  HCD_CHECK_GE(num_vertices, MinNumVertices());
+
+  // Canonicalize to (min, max), sort, dedup.
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  // Filling in sorted (u, v) order keeps every adjacency list sorted: a
+  // vertex first receives its smaller neighbors (as second endpoints, in
+  // increasing order) and then its larger neighbors (as first endpoints).
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<VertexId> adj(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+Graph GraphFromEdges(const EdgeList& edges, VertexId num_vertices) {
+  GraphBuilder b;
+  b.Reserve(edges.size());
+  b.AddEdges(edges);
+  return std::move(b).Build(num_vertices);
+}
+
+Graph GraphFromEdges(const EdgeList& edges) {
+  GraphBuilder b;
+  b.Reserve(edges.size());
+  b.AddEdges(edges);
+  return std::move(b).Build();
+}
+
+}  // namespace hcd

@@ -1,0 +1,60 @@
+#ifndef HCD_GRAPH_BUILDER_H_
+#define HCD_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace hcd {
+
+/// Accumulates edges and produces a normalized simple undirected Graph:
+/// self-loops dropped, parallel edges (in either direction) deduplicated,
+/// adjacency symmetrized and sorted. The paper symmetrizes all directed
+/// inputs the same way (Section V-A).
+///
+///   GraphBuilder b;
+///   b.AddEdge(0, 1);
+///   b.AddEdge(1, 0);      // duplicate, collapsed
+///   Graph g = std::move(b).Build(2);
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Reserves space for `num_edges` AddEdge calls.
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  /// Records edge {u, v}. Self-loops are ignored. Order of endpoints and
+  /// duplicates do not matter.
+  void AddEdge(VertexId u, VertexId v) {
+    if (u == v) return;
+    edges_.emplace_back(u, v);
+  }
+
+  /// Records every edge in `edges`.
+  void AddEdges(const EdgeList& edges) {
+    for (const auto& [u, v] : edges) AddEdge(u, v);
+  }
+
+  /// Largest endpoint seen so far plus one, or 0 when no edges were added.
+  VertexId MinNumVertices() const;
+
+  /// Builds the graph over vertices 0..num_vertices-1. `num_vertices` must
+  /// be at least MinNumVertices(); pass a larger value to include isolated
+  /// vertices. Consumes the builder.
+  Graph Build(VertexId num_vertices) &&;
+
+  /// Builds with num_vertices = MinNumVertices().
+  Graph Build() && { return std::move(*this).Build(MinNumVertices()); }
+
+ private:
+  EdgeList edges_;
+};
+
+/// Convenience: builds a normalized graph directly from an edge list.
+Graph GraphFromEdges(const EdgeList& edges, VertexId num_vertices);
+Graph GraphFromEdges(const EdgeList& edges);
+
+}  // namespace hcd
+
+#endif  // HCD_GRAPH_BUILDER_H_

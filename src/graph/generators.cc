@@ -1,0 +1,392 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace hcd {
+
+Graph PathGraph(VertexId n) {
+  GraphBuilder b;
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return std::move(b).Build(n);
+}
+
+Graph CycleGraph(VertexId n) {
+  HCD_CHECK_GE(n, 3u);
+  GraphBuilder b;
+  for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  return std::move(b).Build(n);
+}
+
+Graph CompleteGraph(VertexId n) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  }
+  return std::move(b).Build(n);
+}
+
+Graph StarGraph(VertexId n) {
+  HCD_CHECK_GE(n, 1u);
+  GraphBuilder b;
+  for (VertexId v = 1; v < n; ++v) b.AddEdge(0, v);
+  return std::move(b).Build(n);
+}
+
+Graph PaperFigure1Graph() {
+  GraphBuilder b;
+  // S4: octahedron on 0..5 (all pairs except the three antipodal ones):
+  // 4-regular, 6 vertices, 12 edges, average degree 4.
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) {
+      bool antipodal = (u / 2 == v / 2);
+      if (!antipodal) b.AddEdge(u, v);
+    }
+  }
+  // 3-shell of S3.1: triangle {6,7,8} plus 5 edges into the octahedron.
+  // S3.1 then has 9 vertices and 20 edges: average degree 40/9 ~ 4.44 as in
+  // the paper's Example 2.
+  b.AddEdge(6, 7);
+  b.AddEdge(6, 8);
+  b.AddEdge(7, 8);
+  b.AddEdge(6, 0);
+  b.AddEdge(6, 2);
+  b.AddEdge(7, 1);
+  b.AddEdge(7, 3);
+  b.AddEdge(8, 4);
+  // S3.2: 4-clique on 9..12.
+  for (VertexId u = 9; u < 13; ++u) {
+    for (VertexId v = u + 1; v < 13; ++v) b.AddEdge(u, v);
+  }
+  // 2-shell: path 13-14-15 bridging S3.1 and S3.2 into one 2-core.
+  b.AddEdge(13, 0);
+  b.AddEdge(13, 14);
+  b.AddEdge(14, 15);
+  b.AddEdge(15, 9);
+  return std::move(b).Build(16);
+}
+
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed) {
+  HCD_CHECK_GE(n, 2u);
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  HCD_CHECK_LE(m, max_edges);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder b;
+  b.Reserve(m);
+  while (seen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) b.AddEdge(u, v);
+  }
+  return std::move(b).Build(n);
+}
+
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build(n);
+}
+
+Graph BarabasiAlbert(VertexId n, VertexId edges_per_vertex, uint64_t seed) {
+  HCD_CHECK_GE(edges_per_vertex, 1u);
+  HCD_CHECK_GT(n, edges_per_vertex);
+  Rng rng(seed);
+  GraphBuilder b;
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<VertexId> targets;
+  const VertexId m0 = edges_per_vertex + 1;
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      b.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::vector<VertexId> picked;
+  for (VertexId v = m0; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < edges_per_vertex) {
+      VertexId t = targets[rng.Uniform(targets.size())];
+      if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+        picked.push_back(t);
+      }
+    }
+    for (VertexId t : picked) {
+      b.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return std::move(b).Build(n);
+}
+
+Graph BarabasiAlbertVarying(VertexId n, VertexId min_epv, VertexId max_epv,
+                            uint64_t seed) {
+  HCD_CHECK_GE(min_epv, 1u);
+  HCD_CHECK_LE(min_epv, max_epv);
+  HCD_CHECK_GT(n, max_epv);
+  Rng rng(seed);
+  GraphBuilder b;
+  std::vector<VertexId> targets;
+  const VertexId m0 = max_epv + 1;
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      b.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::vector<VertexId> picked;
+  for (VertexId v = m0; v < n; ++v) {
+    const VertexId epv =
+        min_epv + static_cast<VertexId>(rng.Uniform(max_epv - min_epv + 1));
+    picked.clear();
+    while (picked.size() < epv) {
+      VertexId t = targets[rng.Uniform(targets.size())];
+      if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+        picked.push_back(t);
+      }
+    }
+    for (VertexId t : picked) {
+      b.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return std::move(b).Build(n);
+}
+
+Graph RMat(uint32_t scale, uint64_t num_edges, double a, double b, double c,
+           uint64_t seed) {
+  HCD_CHECK_LE(scale, 31u);
+  const double d = 1.0 - a - b - c;
+  HCD_CHECK_GE(d, 0.0);
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.Reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.UniformDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build(n);
+}
+
+Graph RMatGraph500(uint32_t scale, uint64_t num_edges, uint64_t seed) {
+  return RMat(scale, num_edges, 0.57, 0.19, 0.19, seed);
+}
+
+Graph RingOfCliques(VertexId num_cliques, VertexId clique_size) {
+  HCD_CHECK_GE(num_cliques, 3u);
+  HCD_CHECK_GE(clique_size, 2u);
+  GraphBuilder b;
+  auto vertex = [clique_size](VertexId clique, VertexId i) {
+    return clique * clique_size + i;
+  };
+  const VertexId bridge_base = num_cliques * clique_size;
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        b.AddEdge(vertex(c, i), vertex(c, j));
+      }
+    }
+    // Bridge c sits between clique c and clique c+1.
+    b.AddEdge(bridge_base + c, vertex(c, 0));
+    b.AddEdge(bridge_base + c, vertex((c + 1) % num_cliques, 0));
+  }
+  return std::move(b).Build(bridge_base + num_cliques);
+}
+
+namespace {
+
+/// Recursively materializes `spec`, appending edges to `edges`. Returns the
+/// vertex ids of the spec's whole core (shell plus all descendant cores),
+/// with one representative of each direct child placed first.
+std::vector<VertexId> BuildSpecNode(const CoreSpec& spec, VertexId* next_id,
+                                    EdgeList* edges, Rng* rng) {
+  HCD_CHECK_GE(spec.level, 1u);
+  const uint32_t k = spec.level;
+  const VertexId s = spec.shell_size;
+  HCD_CHECK_GE(s, 1u);
+
+  std::vector<std::vector<VertexId>> child_cores;
+  child_cores.reserve(spec.children.size());
+  for (const CoreSpec& child : spec.children) {
+    HCD_CHECK_GT(child.level, k) << "child core level must exceed parent";
+    child_cores.push_back(BuildSpecNode(child, next_id, edges, rng));
+  }
+
+  const VertexId base = *next_id;
+  *next_id += s;
+  std::vector<VertexId> core;
+
+  if (child_cores.empty()) {
+    // Leaf: realize the shell as a connected k-regular circulant, so every
+    // shell vertex has coreness exactly k.
+    HCD_CHECK_GE(s, k + 1) << "leaf shell too small for a k-core";
+    if (k == 1) {
+      HCD_CHECK_EQ(s, 2u) << "level-1 leaf must be a single edge";
+    }
+    if (k % 2 == 1 && k > 1) {
+      HCD_CHECK_EQ(s % 2, 0u) << "odd-level leaf needs an even shell";
+    }
+    for (VertexId i = 0; i < s; ++i) {
+      for (uint32_t off = 1; off <= k / 2; ++off) {
+        edges->emplace_back(base + i, base + (i + off) % s);
+      }
+    }
+    if (k % 2 == 1) {
+      // Perfect matching across the circle supplies the odd degree.
+      for (VertexId i = 0; i < s / 2; ++i) {
+        edges->emplace_back(base + i, base + i + s / 2);
+      }
+    }
+    core.reserve(s);
+    for (VertexId i = 0; i < s; ++i) core.push_back(base + i);
+    return core;
+  }
+
+  // Internal node: a shell path plus attachment edges into child cores.
+  // Every shell vertex ends with total degree exactly k, so its coreness is
+  // exactly k; child cores keep their own (larger) coreness.
+  std::vector<uint32_t> budget(s, k);
+  if (s >= 2) {
+    for (VertexId i = 0; i + 1 < s; ++i) {
+      edges->emplace_back(base + i, base + i + 1);
+      HCD_CHECK_GE(budget[i], 1u) << "internal shell level too small for path";
+      HCD_CHECK_GE(budget[i + 1], 1u);
+      --budget[i];
+      --budget[i + 1];
+    }
+  }
+
+  // Attachment pool: one representative per child first (so every child core
+  // is touched and gets a parent edge), then the remaining child vertices,
+  // rotated pseudo-randomly for variety.
+  std::vector<VertexId> pool;
+  for (const auto& cc : child_cores) pool.push_back(cc.front());
+  std::vector<VertexId> rest;
+  for (const auto& cc : child_cores) {
+    for (size_t i = 1; i < cc.size(); ++i) rest.push_back(cc[i]);
+  }
+  if (!rest.empty()) {
+    size_t rot = rng->Uniform(rest.size());
+    std::rotate(rest.begin(), rest.begin() + rot, rest.end());
+  }
+  pool.insert(pool.end(), rest.begin(), rest.end());
+
+  uint64_t total_budget = 0;
+  for (uint32_t bi : budget) total_budget += bi;
+  HCD_CHECK_GE(total_budget, child_cores.size())
+      << "shell cannot reach every child core";
+
+  size_t pos = 0;
+  for (VertexId i = 0; i < s; ++i) {
+    HCD_CHECK_LE(budget[i], pool.size())
+        << "child cores too small for shell degree";
+    for (uint32_t e = 0; e < budget[i]; ++e) {
+      edges->emplace_back(base + i, pool[pos]);
+      pos = (pos + 1) % pool.size();
+    }
+  }
+
+  core.reserve(s + pool.size());
+  // Keep one shell vertex first so the parent's representative edge lands on
+  // the shell (any core vertex works; the shell is the natural anchor).
+  for (VertexId i = 0; i < s; ++i) core.push_back(base + i);
+  for (const auto& cc : child_cores) {
+    core.insert(core.end(), cc.begin(), cc.end());
+  }
+  return core;
+}
+
+}  // namespace
+
+Graph PlantedHierarchy(const CoreSpec& root, uint64_t seed) {
+  return PlantedForest({root}, seed);
+}
+
+Graph PlantedForest(const std::vector<CoreSpec>& roots, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  VertexId next_id = 0;
+  for (const CoreSpec& root : roots) {
+    BuildSpecNode(root, &next_id, &edges, &rng);
+  }
+  return GraphFromEdges(edges, next_id);
+}
+
+CoreSpec OnionSpec(uint32_t k_max, VertexId shell_size) {
+  HCD_CHECK_GE(k_max, 2u);
+  CoreSpec node;
+  node.level = k_max;
+  node.shell_size = std::max<VertexId>(shell_size, k_max + 1);
+  if (k_max % 2 == 1 && node.shell_size % 2 == 1) ++node.shell_size;
+  for (uint32_t k = k_max - 1; k >= 2; --k) {
+    CoreSpec wrap;
+    wrap.level = k;
+    wrap.shell_size = shell_size;
+    wrap.children.push_back(std::move(node));
+    node = std::move(wrap);
+  }
+  CoreSpec outer;
+  outer.level = 1;
+  outer.shell_size = 1;
+  outer.children.push_back(std::move(node));
+  return outer;
+}
+
+CoreSpec BranchingSpec(uint32_t k_min, uint32_t k_max, uint32_t step,
+                       uint32_t fanout, VertexId shell_size) {
+  HCD_CHECK_GE(k_min, 2u);
+  HCD_CHECK_GE(step, 1u);
+  HCD_CHECK_GE(fanout, 1u);
+  CoreSpec node;
+  node.level = k_min;
+  if (k_min + step > k_max) {
+    // Leaf constraints.
+    node.shell_size = std::max<VertexId>(shell_size, k_min + 1);
+    if (k_min % 2 == 1 && node.shell_size % 2 == 1) ++node.shell_size;
+    return node;
+  }
+  node.shell_size = std::max<VertexId>(shell_size, 1);
+  for (uint32_t c = 0; c < fanout; ++c) {
+    node.children.push_back(
+        BranchingSpec(k_min + step, k_max, step, fanout, shell_size));
+  }
+  return node;
+}
+
+}  // namespace hcd

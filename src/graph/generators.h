@@ -1,0 +1,109 @@
+#ifndef HCD_GRAPH_GENERATORS_H_
+#define HCD_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcd {
+
+// --- Elementary graphs (mostly for tests) -----------------------------------
+
+/// Path v0-v1-...-v_{n-1}.
+Graph PathGraph(VertexId n);
+
+/// Cycle on n >= 3 vertices.
+Graph CycleGraph(VertexId n);
+
+/// Complete graph K_n (every vertex has coreness n-1).
+Graph CompleteGraph(VertexId n);
+
+/// Star: vertex 0 adjacent to 1..n-1.
+Graph StarGraph(VertexId n);
+
+/// The 11-vertex running example of the paper's Figure 1: a 4-core (5-clique
+/// S4), a second 3-core (4-clique S3.2), a 3-shell of 3 vertices completing
+/// S3.1 around the 4-core, and a 2-shell of 3 vertices tying everything into
+/// one 2-core.
+Graph PaperFigure1Graph();
+
+// --- Random models -----------------------------------------------------------
+
+/// G(n, m): m distinct uniform random edges (self-loops re-drawn).
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed);
+
+/// G(n, p) by Bernoulli sampling of each pair; O(n^2), intended for tests.
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Produces skewed degree distributions like
+/// social networks.
+Graph BarabasiAlbert(VertexId n, VertexId edges_per_vertex, uint64_t seed);
+
+/// Barabasi-Albert variant where each arriving vertex attaches a uniform
+/// random number of edges in [min_epv, max_epv]. Unlike the fixed-m model
+/// (whose coreness is constant m, collapsing the HCD to one node), this
+/// spreads coreness over [min_epv, max_epv] like real social networks.
+Graph BarabasiAlbertVarying(VertexId n, VertexId min_epv, VertexId max_epv,
+                            uint64_t seed);
+
+/// RMAT/Kronecker sampler over 2^scale vertices with quadrant probabilities
+/// (a, b, c, d), a + b + c + d = 1. Produces heavy-tailed web-crawl-like
+/// graphs (the role of the LAW datasets in Table II).
+Graph RMat(uint32_t scale, uint64_t num_edges, double a, double b, double c,
+           uint64_t seed);
+
+/// RMAT with the standard Graph500 parameters (0.57, 0.19, 0.19).
+Graph RMatGraph500(uint32_t scale, uint64_t num_edges, uint64_t seed);
+
+// --- Structured / planted hierarchies ---------------------------------------
+
+/// `num_cliques` cliques of `clique_size` vertices arranged in a ring, with
+/// one degree-2 bridge vertex between consecutive cliques. For
+/// clique_size >= 4 each clique is a distinct (clique_size-1)-core and the
+/// bridges (coreness 2) tie everything into one enclosing 2-core, so the
+/// HCD is a star of clique nodes under one bridge node. Vertices are laid
+/// out clique-major: clique c occupies [c*clique_size, (c+1)*clique_size),
+/// bridges follow at num_cliques*clique_size + c.
+Graph RingOfCliques(VertexId num_cliques, VertexId clique_size);
+
+/// Specification of one tree node of a planted core hierarchy: a shell of
+/// `shell_size` vertices of coreness exactly `level`, wrapped around the
+/// cores described by `children` (which must all have strictly larger
+/// levels).
+///
+/// Preconditions, CHECK-enforced by PlantedHierarchy:
+///  - level >= 1;
+///  - leaf nodes: shell_size >= level + 1, and level odd requires
+///    shell_size even (the shell is realized as a level-regular circulant);
+///  - internal nodes: level >= 2, and level >= number of children when
+///    shell_size == 1 (shell edges must touch every child core).
+struct CoreSpec {
+  uint32_t level = 1;
+  VertexId shell_size = 1;
+  std::vector<CoreSpec> children;
+};
+
+/// Builds a graph whose hierarchical core decomposition is exactly the spec
+/// tree: each spec node becomes one k-core tree node whose vertex set is the
+/// spec's shell. Roots of the produced forest correspond to `root`.
+/// Deterministic given `seed` (used to spread attachment edges).
+Graph PlantedHierarchy(const CoreSpec& root, uint64_t seed);
+
+/// A multi-root planted forest: independent PlantedHierarchy components.
+Graph PlantedForest(const std::vector<CoreSpec>& roots, uint64_t seed);
+
+/// Convenience deep chain: levels k_max, k_max-1, ..., 1 nested like an
+/// onion, `shell_size` vertices per shell. kmax-core is a clique.
+CoreSpec OnionSpec(uint32_t k_max, VertexId shell_size);
+
+/// A branching spec: every node at level l has `fanout` children at level
+/// l + step until `k_max` is exceeded. Produces many tree nodes (high |T|).
+CoreSpec BranchingSpec(uint32_t k_min, uint32_t k_max, uint32_t step,
+                       uint32_t fanout, VertexId shell_size);
+
+}  // namespace hcd
+
+#endif  // HCD_GRAPH_GENERATORS_H_

@@ -1,0 +1,28 @@
+#ifndef HCD_GRAPH_IO_H_
+#define HCD_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// Loads a whitespace-separated edge-list text file ("u v" per line) in the
+/// SNAP format: lines starting with '#' or '%' are comments; directed inputs
+/// are symmetrized; vertex ids need not be contiguous (they are compacted).
+/// On success stores the normalized graph in `*graph`.
+Status LoadEdgeListText(const std::string& path, Graph* graph);
+
+/// Writes `graph` as an edge-list text file (one "u v" line per undirected
+/// edge, u < v), with a comment header.
+Status SaveEdgeListText(const Graph& graph, const std::string& path);
+
+/// Binary CSR snapshot (magic + version + n + m + offsets + adjacency).
+/// Much faster to reload than text for benchmark datasets.
+Status SaveBinary(const Graph& graph, const std::string& path);
+Status LoadBinary(const std::string& path, Graph* graph);
+
+}  // namespace hcd
+
+#endif  // HCD_GRAPH_IO_H_

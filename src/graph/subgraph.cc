@@ -1,0 +1,43 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/builder.h"
+
+namespace hcd {
+
+InducedSubgraph Induce(const Graph& graph, std::vector<VertexId> vertices) {
+  std::vector<VertexId> local(graph.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    HCD_CHECK(local[vertices[i]] == kInvalidVertex) << "duplicate vertex";
+    local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder b;
+  for (VertexId v : vertices) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (local[u] != kInvalidVertex && v < u) {
+        b.AddEdge(local[v], local[u]);
+      }
+    }
+  }
+  InducedSubgraph result;
+  result.graph = std::move(b).Build(static_cast<VertexId>(vertices.size()));
+  result.vertices = std::move(vertices);
+  return result;
+}
+
+EdgeIndex CountInducedEdges(const Graph& graph,
+                            const std::vector<VertexId>& vertices) {
+  std::vector<bool> in(graph.NumVertices(), false);
+  for (VertexId v : vertices) in[v] = true;
+  EdgeIndex count = 0;
+  for (VertexId v : vertices) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (in[u] && v < u) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hcd

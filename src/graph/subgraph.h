@@ -1,0 +1,27 @@
+#ifndef HCD_GRAPH_SUBGRAPH_H_
+#define HCD_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// A vertex-induced subgraph together with the mapping back to the parent
+/// graph: `graph` vertex i corresponds to `vertices[i]` in the original.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<VertexId> vertices;
+};
+
+/// Extracts the subgraph induced by `vertices` (need not be sorted; must not
+/// contain duplicates). O(sum of degrees of `vertices`).
+InducedSubgraph Induce(const Graph& graph, std::vector<VertexId> vertices);
+
+/// Number of edges of `graph` with both endpoints in `vertices`.
+EdgeIndex CountInducedEdges(const Graph& graph,
+                            const std::vector<VertexId>& vertices);
+
+}  // namespace hcd
+
+#endif  // HCD_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,26 @@
+#ifndef HCD_GRAPH_TYPES_H_
+#define HCD_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace hcd {
+
+/// Vertex identifier; vertices are always 0..n-1.
+using VertexId = uint32_t;
+
+/// Index into the flat adjacency array (can exceed 2^32 for large graphs).
+using EdgeIndex = uint64_t;
+
+/// An undirected edge as an unordered pair of endpoints.
+using Edge = std::pair<VertexId, VertexId>;
+
+using EdgeList = std::vector<Edge>;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+}  // namespace hcd
+
+#endif  // HCD_GRAPH_TYPES_H_

@@ -1,0 +1,69 @@
+#include "hcd/export.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hcd {
+
+std::string ForestToDot(const HcdForest& forest, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph hcd {\n";
+  out << "  rankdir=BT;\n";
+  out << "  node [shape=box, style=filled];\n";
+  uint32_t max_level = 1;
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    max_level = std::max(max_level, forest.Level(t));
+  }
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    out << "  n" << t << " [label=\"k=" << forest.Level(t) << " |V|="
+        << forest.Vertices(t).size() << "\\n{";
+    const auto verts = forest.Vertices(t);
+    for (size_t i = 0; i < verts.size() && i < options.max_vertices_per_label;
+         ++i) {
+      if (i > 0) out << ",";
+      out << verts[i];
+    }
+    if (verts.size() > options.max_vertices_per_label) out << ",...";
+    out << "}\"";
+    if (options.color_by_level) {
+      // Map level to one of 9 blues (1 = lightest).
+      uint32_t shade = 1 + (forest.Level(t) * 8) / std::max(max_level, 1u);
+      out << ", colorscheme=blues9, fillcolor=" << std::min(shade, 9u);
+    }
+    out << "];\n";
+  }
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    if (forest.Parent(t) != kInvalidNode) {
+      out << "  n" << t << " -> n" << forest.Parent(t) << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ForestToJson(const HcdForest& forest) {
+  std::ostringstream out;
+  out << "[\n";
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    out << "  {\"id\": " << t << ", \"level\": " << forest.Level(t)
+        << ", \"parent\": ";
+    if (forest.Parent(t) == kInvalidNode) {
+      out << "null";
+    } else {
+      out << forest.Parent(t);
+    }
+    out << ", \"vertices\": [";
+    const auto verts = forest.Vertices(t);
+    for (size_t i = 0; i < verts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << verts[i];
+    }
+    out << "]}";
+    if (t + 1 < forest.NumNodes()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace hcd

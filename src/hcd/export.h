@@ -1,0 +1,28 @@
+#ifndef HCD_HCD_EXPORT_H_
+#define HCD_HCD_EXPORT_H_
+
+#include <string>
+
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Options controlling DOT rendering of a forest.
+struct DotOptions {
+  /// Print at most this many vertex ids inside each node label.
+  uint32_t max_vertices_per_label = 8;
+  /// Color nodes by level (Graphviz "colorscheme=blues9" style).
+  bool color_by_level = true;
+};
+
+/// Renders the forest as Graphviz DOT (one graph node per tree node, edges
+/// parent -> child), the paper's visualization application.
+std::string ForestToDot(const HcdForest& forest, const DotOptions& options = {});
+
+/// Renders the forest as a JSON document: an array of
+/// {"id", "level", "parent", "vertices"} objects.
+std::string ForestToJson(const HcdForest& forest);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_EXPORT_H_

@@ -1,0 +1,65 @@
+#include "hcd/forest.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hcd {
+
+void HcdForest::BuildChildren() {
+  children_.assign(NumNodes(), {});
+  for (TreeNodeId node = 0; node < NumNodes(); ++node) {
+    TreeNodeId parent = parents_[node];
+    if (parent != kInvalidNode) {
+      HCD_CHECK_LT(levels_[parent], levels_[node])
+          << "parent level must be below child level";
+      children_[parent].push_back(node);
+    }
+  }
+  children_built_ = true;
+}
+
+std::vector<TreeNodeId> HcdForest::Roots() const {
+  std::vector<TreeNodeId> roots;
+  for (TreeNodeId node = 0; node < NumNodes(); ++node) {
+    if (parents_[node] == kInvalidNode) roots.push_back(node);
+  }
+  return roots;
+}
+
+std::vector<TreeNodeId> HcdForest::NodesByDescendingLevel() const {
+  std::vector<TreeNodeId> order(NumNodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](TreeNodeId a, TreeNodeId b) {
+                     return levels_[a] > levels_[b];
+                   });
+  return order;
+}
+
+std::vector<VertexId> HcdForest::CoreVertices(TreeNodeId node) const {
+  HCD_CHECK(children_built_);
+  std::vector<VertexId> result;
+  std::vector<TreeNodeId> stack = {node};
+  while (!stack.empty()) {
+    TreeNodeId cur = stack.back();
+    stack.pop_back();
+    result.insert(result.end(), vertices_[cur].begin(), vertices_[cur].end());
+    for (TreeNodeId child : children_[cur]) stack.push_back(child);
+  }
+  return result;
+}
+
+uint64_t HcdForest::CoreSize(TreeNodeId node) const {
+  HCD_CHECK(children_built_);
+  uint64_t total = 0;
+  std::vector<TreeNodeId> stack = {node};
+  while (!stack.empty()) {
+    TreeNodeId cur = stack.back();
+    stack.pop_back();
+    total += vertices_[cur].size();
+    for (TreeNodeId child : children_[cur]) stack.push_back(child);
+  }
+  return total;
+}
+
+}  // namespace hcd

@@ -1,0 +1,109 @@
+#ifndef HCD_HCD_FOREST_H_
+#define HCD_HCD_FOREST_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/types.h"
+
+namespace hcd {
+
+using TreeNodeId = uint32_t;
+inline constexpr TreeNodeId kInvalidNode =
+    std::numeric_limits<TreeNodeId>::max();
+
+/// The hierarchical core decomposition index (Section II-B, Figure 2).
+///
+/// Each tree node T_i corresponds to one k-core S and stores exactly the
+/// vertices of S with coreness k (V(T_i) = S ∩ H_k); `Parent` is P(T_i)
+/// (kInvalidNode for forest roots), `Children` is C(T_i), and `Tid(v)` maps
+/// each vertex to its unique containing node. The original k-core of a node
+/// is the union of the vertex sets of the node's subtree (CoreVertices).
+///
+/// Construction protocol (used by the LCPS / PHCD / oracle builders):
+/// create nodes with NewNode, populate them with AddVertex, link with
+/// SetParent, then call BuildChildren once to materialize child lists.
+class HcdForest {
+ public:
+  HcdForest() : HcdForest(0) {}
+  explicit HcdForest(VertexId num_vertices)
+      : tid_(num_vertices, kInvalidNode) {}
+
+  // --- construction ---------------------------------------------------------
+
+  /// Creates an empty tree node at core level `level`; returns its id.
+  TreeNodeId NewNode(uint32_t level) {
+    levels_.push_back(level);
+    parents_.push_back(kInvalidNode);
+    vertices_.emplace_back();
+    return static_cast<TreeNodeId>(levels_.size() - 1);
+  }
+
+  /// Adds `v` to node `node` and records tid(v). A vertex may join exactly
+  /// one node.
+  void AddVertex(TreeNodeId node, VertexId v) {
+    HCD_DCHECK(node < NumNodes());
+    HCD_DCHECK(v < tid_.size());
+    HCD_DCHECK(tid_[v] == kInvalidNode) << "vertex already placed";
+    vertices_[node].push_back(v);
+    tid_[v] = node;
+  }
+
+  void SetParent(TreeNodeId child, TreeNodeId parent) {
+    HCD_DCHECK(child < NumNodes());
+    HCD_DCHECK(parent < NumNodes());
+    parents_[child] = parent;
+  }
+
+  /// Derives all child lists from the parent pointers. Call once after all
+  /// SetParent calls.
+  void BuildChildren();
+
+  // --- accessors -------------------------------------------------------------
+
+  TreeNodeId NumNodes() const { return static_cast<TreeNodeId>(levels_.size()); }
+  VertexId NumVertices() const { return static_cast<VertexId>(tid_.size()); }
+
+  uint32_t Level(TreeNodeId node) const { return levels_[node]; }
+  TreeNodeId Parent(TreeNodeId node) const { return parents_[node]; }
+  std::span<const TreeNodeId> Children(TreeNodeId node) const {
+    HCD_DCHECK(children_built_);
+    return children_[node];
+  }
+  std::span<const VertexId> Vertices(TreeNodeId node) const {
+    return vertices_[node];
+  }
+
+  /// Node containing v, or kInvalidNode if v was never placed.
+  TreeNodeId Tid(VertexId v) const { return tid_[v]; }
+
+  /// All nodes without a parent.
+  std::vector<TreeNodeId> Roots() const;
+
+  /// Node ids ordered by descending level (ties by id). Processing in this
+  /// order guarantees children come before parents, as required by the
+  /// bottom-up accumulations of Algorithms 3-5.
+  std::vector<TreeNodeId> NodesByDescendingLevel() const;
+
+  /// Vertices of the node's original k-core: the union of the subtree's
+  /// vertex sets.
+  std::vector<VertexId> CoreVertices(TreeNodeId node) const;
+
+  /// Number of vertices in the node's original k-core.
+  uint64_t CoreSize(TreeNodeId node) const;
+
+ private:
+  std::vector<uint32_t> levels_;
+  std::vector<TreeNodeId> parents_;
+  std::vector<std::vector<VertexId>> vertices_;
+  std::vector<std::vector<TreeNodeId>> children_;
+  std::vector<TreeNodeId> tid_;
+  bool children_built_ = false;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_FOREST_H_

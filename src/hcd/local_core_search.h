@@ -1,0 +1,30 @@
+#ifndef HCD_HCD_LOCAL_CORE_SEARCH_H_
+#define HCD_HCD_LOCAL_CORE_SEARCH_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Local k-core search (RC, Section III-E): the maximal connected subgraph
+/// containing `v` in which every vertex has coreness >= c(v) — i.e. the
+/// c(v)-core containing v — found by BFS from v.
+std::vector<VertexId> LocalCoreSearch(const Graph& graph,
+                                      const CoreDecomposition& cd, VertexId v);
+
+/// The RC experiment of Table III: recomputes every parent-child relation
+/// of the HCD with local k-core searches (one BFS per tree node, over the
+/// current OpenMP threads), the essential primitive of the divide-and-
+/// conquer paradigm the paper rules out. Returns the parent of every node
+/// (kInvalidNode for roots); callers compare against `forest` to confirm
+/// correctness and measure the cost.
+std::vector<TreeNodeId> RcComputeParents(const Graph& graph,
+                                         const CoreDecomposition& cd,
+                                         const HcdForest& forest);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_LOCAL_CORE_SEARCH_H_

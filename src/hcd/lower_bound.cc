@@ -1,0 +1,43 @@
+#include "hcd/lower_bound.h"
+
+#include "hcd/vertex_rank.h"
+#include "parallel/omp_utils.h"
+#include "parallel/union_find.h"
+#include "parallel/wf_union_find.h"
+
+namespace hcd {
+
+VertexId UnionFindLowerBound(const Graph& graph, const CoreDecomposition& cd) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return 0;
+  const VertexRank vr = ComputeVertexRank(cd);
+  if (MaxThreads() == 1) {
+    // Serial configuration: plain union-find, like PHCD (1).
+    UnionFind uf(n, vr.rank.data());
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId u : graph.Neighbors(v)) {
+        if (u > v) uf.Union(v, u);
+      }
+    }
+    VertexId components = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (uf.Find(v) == v) ++components;
+    }
+    return components;
+  }
+  WaitFreeUnionFind uf(n, vr.rank.data());
+#pragma omp parallel for schedule(dynamic, 256)
+  for (int64_t vi = 0; vi < static_cast<int64_t>(n); ++vi) {
+    VertexId v = static_cast<VertexId>(vi);
+    for (VertexId u : graph.Neighbors(v)) {
+      if (u > v) uf.Union(v, u);
+    }
+  }
+  VertexId components = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (uf.Find(v) == v) ++components;
+  }
+  return components;
+}
+
+}  // namespace hcd

@@ -1,0 +1,19 @@
+#ifndef HCD_HCD_LOWER_BOUND_H_
+#define HCD_HCD_LOWER_BOUND_H_
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// The paper's LB baseline (Table III): unions every adjacent vertex pair
+/// in the pivot-extended wait-free union-find, including the vertex-rank
+/// preprocessing. This is the unavoidable connection cost of any
+/// union-find-based HCD construction; PHCD's runtime is compared against
+/// it. Uses the current OpenMP thread count. Returns the number of
+/// components, so the work cannot be optimized away.
+VertexId UnionFindLowerBound(const Graph& graph, const CoreDecomposition& cd);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_LOWER_BOUND_H_

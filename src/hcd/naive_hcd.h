@@ -1,0 +1,21 @@
+#ifndef HCD_HCD_NAIVE_HCD_H_
+#define HCD_HCD_NAIVE_HCD_H_
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Definition-driven HCD oracle: for each k from k_max down to 0, finds the
+/// connected components of the subgraph induced by {v : c(v) >= k} by BFS
+/// (each component is one k-core), creates a tree node for every component
+/// whose k-shell part is non-empty, and adopts the parentless nodes of
+/// higher levels contained in the component (Definitions 1-3).
+///
+/// O(k_max * m) — for tests only; independent of both LCPS and PHCD.
+HcdForest NaiveHcdBuild(const Graph& graph, const CoreDecomposition& cd);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_NAIVE_HCD_H_

@@ -1,0 +1,34 @@
+#ifndef HCD_HCD_QUERY_H_
+#define HCD_HCD_QUERY_H_
+
+#include <vector>
+
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Local k-core queries on the HCD index (the ShellStruct / CL-Tree
+/// functionality the paper cites as applications of the structure): all
+/// answers come from ancestor walks plus subtree collection, with no graph
+/// traversal.
+
+/// The tree node associated with the k-core containing `v`: the highest
+/// ancestor of tid(v) whose level is still >= k. Returns kInvalidNode when
+/// c(v) < k (v is in no k-core).
+TreeNodeId NodeOfKCoreContaining(const HcdForest& forest, VertexId v,
+                                 uint32_t k);
+
+/// Vertex set of the k-core containing `v` (empty when there is none).
+/// O(answer size) after the ancestor walk.
+std::vector<VertexId> KCoreContaining(const HcdForest& forest, VertexId v,
+                                      uint32_t k);
+
+/// Coreness of `v` as recorded by the index (level of its tree node).
+uint32_t CorenessOf(const HcdForest& forest, VertexId v);
+
+/// True iff u and v belong to a common k-core.
+bool InSameKCore(const HcdForest& forest, VertexId u, VertexId v, uint32_t k);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_QUERY_H_

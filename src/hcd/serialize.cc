@@ -1,0 +1,112 @@
+#include "hcd/serialize.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace hcd {
+namespace {
+
+constexpr uint64_t kForestMagic = 0x484344464f523031ULL;  // "HCDFOR01"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  uint64_t size = v.size();
+  if (std::fwrite(&size, sizeof(size), 1, f) != 1) return false;
+  if (size == 0) return true;
+  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (std::fread(&size, sizeof(size), 1, f) != 1) return false;
+  v->resize(size);
+  if (size == 0) return true;
+  return std::fread(v->data(), sizeof(T), size, f) == size;
+}
+
+}  // namespace
+
+Status SaveForest(const HcdForest& forest, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+
+  uint64_t n = forest.NumVertices();
+  uint64_t num_nodes = forest.NumNodes();
+  bool ok = std::fwrite(&kForestMagic, sizeof(kForestMagic), 1, f.get()) == 1;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f.get()) == 1;
+  ok = ok && std::fwrite(&num_nodes, sizeof(num_nodes), 1, f.get()) == 1;
+
+  std::vector<uint32_t> levels(num_nodes);
+  std::vector<TreeNodeId> parents(num_nodes);
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    levels[t] = forest.Level(t);
+    parents[t] = forest.Parent(t);
+  }
+  ok = ok && WriteVec(f.get(), levels) && WriteVec(f.get(), parents);
+  for (TreeNodeId t = 0; t < num_nodes && ok; ++t) {
+    std::vector<VertexId> verts(forest.Vertices(t).begin(),
+                                forest.Vertices(t).end());
+    ok = WriteVec(f.get(), verts);
+  }
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadForest(const std::string& path, HcdForest* forest) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t num_nodes = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f.get()) == 1;
+  ok = ok && std::fread(&n, sizeof(n), 1, f.get()) == 1;
+  ok = ok && std::fread(&num_nodes, sizeof(num_nodes), 1, f.get()) == 1;
+  if (!ok) return Status::Corruption(path + ": truncated header");
+  if (magic != kForestMagic) return Status::Corruption(path + ": bad magic");
+
+  std::vector<uint32_t> levels;
+  std::vector<TreeNodeId> parents;
+  if (!ReadVec(f.get(), &levels) || !ReadVec(f.get(), &parents) ||
+      levels.size() != num_nodes || parents.size() != num_nodes) {
+    return Status::Corruption(path + ": truncated node tables");
+  }
+
+  HcdForest result(static_cast<VertexId>(n));
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    TreeNodeId id = result.NewNode(levels[t]);
+    (void)id;
+  }
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    std::vector<VertexId> verts;
+    if (!ReadVec(f.get(), &verts)) {
+      return Status::Corruption(path + ": truncated vertex lists");
+    }
+    for (VertexId v : verts) {
+      if (v >= n) return Status::Corruption(path + ": vertex out of range");
+      result.AddVertex(static_cast<TreeNodeId>(t), v);
+    }
+  }
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    if (parents[t] != kInvalidNode) {
+      if (parents[t] >= num_nodes) {
+        return Status::Corruption(path + ": parent out of range");
+      }
+      result.SetParent(static_cast<TreeNodeId>(t), parents[t]);
+    }
+  }
+  result.BuildChildren();
+  *forest = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace hcd

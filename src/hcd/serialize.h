@@ -1,0 +1,20 @@
+#ifndef HCD_HCD_SERIALIZE_H_
+#define HCD_HCD_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Writes a versioned binary snapshot of the forest (levels, parents and
+/// vertex memberships; children are rebuilt on load).
+Status SaveForest(const HcdForest& forest, const std::string& path);
+
+/// Loads a forest written by SaveForest.
+Status LoadForest(const std::string& path, HcdForest* forest);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_SERIALIZE_H_

@@ -1,0 +1,58 @@
+#include "hcd/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hcd {
+
+ForestStats ComputeForestStats(const HcdForest& forest) {
+  ForestStats stats;
+  stats.num_nodes = forest.NumNodes();
+  if (stats.num_nodes == 0) return stats;
+
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    stats.max_level = std::max(stats.max_level, forest.Level(t));
+    stats.max_branching = std::max(
+        stats.max_branching, static_cast<uint32_t>(forest.Children(t).size()));
+    if (forest.Parent(t) == kInvalidNode) ++stats.num_roots;
+  }
+  stats.nodes_per_level.assign(stats.max_level + 1, 0);
+  stats.elements_per_level.assign(stats.max_level + 1, 0);
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    ++stats.nodes_per_level[forest.Level(t)];
+    stats.elements_per_level[forest.Level(t)] += forest.Vertices(t).size();
+  }
+
+  // Depth via one pass in ascending-level order: a parent's depth is final
+  // before any of its (strictly higher-level) children are visited.
+  std::vector<uint32_t> depth(forest.NumNodes(), 1);
+  std::vector<TreeNodeId> order = forest.NodesByDescendingLevel();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TreeNodeId t = *it;
+    const TreeNodeId p = forest.Parent(t);
+    if (p != kInvalidNode) depth[t] = depth[p] + 1;
+    stats.depth = std::max(stats.depth, depth[t]);
+  }
+  return stats;
+}
+
+std::string ForestStatsToString(const ForestStats& stats) {
+  std::ostringstream out;
+  out << "nodes         " << stats.num_nodes << "\n";
+  out << "roots         " << stats.num_roots << "\n";
+  out << "depth         " << stats.depth << "\n";
+  out << "max branching " << stats.max_branching << "\n";
+  out << "max level     " << stats.max_level << "\n";
+  if (!stats.nodes_per_level.empty()) {
+    out << "levels (k: nodes/elements):\n";
+    const uint32_t step =
+        std::max<uint32_t>(1, (stats.max_level + 1) / 12);
+    for (uint32_t k = 0; k <= stats.max_level; k += step) {
+      out << "  " << k << ": " << stats.nodes_per_level[k] << "/"
+          << stats.elements_per_level[k] << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hcd

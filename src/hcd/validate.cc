@@ -1,0 +1,154 @@
+#include "hcd/validate.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hcd {
+namespace {
+
+std::string NodeDesc(const HcdForest& forest, TreeNodeId node) {
+  return "node " + std::to_string(node) + " (level " +
+         std::to_string(forest.Level(node)) + ")";
+}
+
+}  // namespace
+
+Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
+                   const HcdForest& forest) {
+  const VertexId n = graph.NumVertices();
+  if (forest.NumVertices() != n) {
+    return Status::Corruption("forest vertex count mismatch");
+  }
+
+  // Vertex placement and levels.
+  std::vector<uint64_t> placed(forest.NumNodes(), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    TreeNodeId t = forest.Tid(v);
+    if (t == kInvalidNode) {
+      return Status::Corruption("vertex " + std::to_string(v) + " unplaced");
+    }
+    if (forest.Level(t) != cd.coreness[v]) {
+      return Status::Corruption("vertex " + std::to_string(v) +
+                                " coreness != level of " +
+                                NodeDesc(forest, t));
+    }
+  }
+  uint64_t total = 0;
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    if (forest.Vertices(t).empty()) {
+      return Status::Corruption(NodeDesc(forest, t) + " is empty");
+    }
+    for (VertexId v : forest.Vertices(t)) {
+      if (forest.Tid(v) != t) {
+        return Status::Corruption("tid inconsistent for vertex " +
+                                  std::to_string(v));
+      }
+      ++placed[t];
+    }
+    total += placed[t];
+  }
+  if (total != n) {
+    return Status::Corruption("vertices appear in multiple nodes");
+  }
+
+  // Parent levels and child lists.
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    TreeNodeId p = forest.Parent(t);
+    if (p != kInvalidNode && forest.Level(p) >= forest.Level(t)) {
+      return Status::Corruption("parent level not below child for " +
+                                NodeDesc(forest, t));
+    }
+    for (TreeNodeId c : forest.Children(t)) {
+      if (forest.Parent(c) != t) {
+        return Status::Corruption("child list inconsistent at " +
+                                  NodeDesc(forest, t));
+      }
+    }
+  }
+
+  // Per-node core checks: connected, min-degree >= k, maximal.
+  std::vector<bool> in_core(n, false);
+  std::vector<VertexId> stack;
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    const uint32_t k = forest.Level(t);
+    std::vector<VertexId> core = forest.CoreVertices(t);
+    for (VertexId v : core) in_core[v] = true;
+
+    // Min internal degree and maximality.
+    for (VertexId v : core) {
+      uint64_t internal = 0;
+      for (VertexId u : graph.Neighbors(v)) {
+        if (in_core[u]) {
+          ++internal;
+        } else if (cd.coreness[u] >= k) {
+          for (VertexId w : core) in_core[w] = false;
+          return Status::Corruption(NodeDesc(forest, t) +
+                                    " not maximal: vertex " +
+                                    std::to_string(u) + " missing");
+        }
+      }
+      if (internal < k) {
+        for (VertexId w : core) in_core[w] = false;
+        return Status::Corruption(NodeDesc(forest, t) + " vertex " +
+                                  std::to_string(v) +
+                                  " has internal degree < k");
+      }
+    }
+
+    // Connectivity.
+    uint64_t reached = 0;
+    stack.assign(1, core.front());
+    in_core[core.front()] = false;  // reuse as "not yet visited" marker
+    ++reached;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : graph.Neighbors(v)) {
+        if (in_core[u]) {
+          in_core[u] = false;
+          ++reached;
+          stack.push_back(u);
+        }
+      }
+    }
+    if (reached != core.size()) {
+      return Status::Corruption(NodeDesc(forest, t) + " core disconnected");
+    }
+  }
+  return Status::Ok();
+}
+
+bool HcdEquals(const HcdForest& a, const HcdForest& b) {
+  if (a.NumVertices() != b.NumVertices()) return false;
+  if (a.NumNodes() != b.NumNodes()) return false;
+  const VertexId n = a.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    TreeNodeId ta = a.Tid(v);
+    TreeNodeId tb = b.Tid(v);
+    if ((ta == kInvalidNode) != (tb == kInvalidNode)) return false;
+    if (ta == kInvalidNode) continue;
+    if (a.Level(ta) != b.Level(tb)) return false;
+  }
+  for (TreeNodeId ta = 0; ta < a.NumNodes(); ++ta) {
+    if (a.Vertices(ta).empty()) return false;
+    TreeNodeId tb = b.Tid(a.Vertices(ta).front());
+    // Same vertex set.
+    std::vector<VertexId> va(a.Vertices(ta).begin(), a.Vertices(ta).end());
+    std::vector<VertexId> vb(b.Vertices(tb).begin(), b.Vertices(tb).end());
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    if (va != vb) return false;
+    // Same parent (compared via any representative vertex).
+    TreeNodeId pa = a.Parent(ta);
+    TreeNodeId pb = b.Parent(tb);
+    if ((pa == kInvalidNode) != (pb == kInvalidNode)) return false;
+    if (pa != kInvalidNode &&
+        b.Tid(a.Vertices(pa).front()) != pb) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hcd

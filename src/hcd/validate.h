@@ -1,0 +1,30 @@
+#ifndef HCD_HCD_VALIDATE_H_
+#define HCD_HCD_VALIDATE_H_
+
+#include "common/status.h"
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// Checks every HCD invariant of `forest` against `graph` and `cd`:
+///  - every vertex belongs to exactly one node whose level equals its
+///    coreness;
+///  - parent levels are strictly below child levels;
+///  - every node's original k-core (subtree vertex union) is connected in
+///    the coreness>=k subgraph, has minimum internal degree >= k, and is
+///    maximal (no adjacent coreness>=k vertex outside it).
+/// Returns OK or a Corruption status describing the first violation.
+/// O(sum of core sizes) = O(k_max * m) worst case; intended for tests.
+Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
+                   const HcdForest& forest);
+
+/// Structural equality of two HCDs over the same vertex set: identical
+/// node partition (as {level, vertex set}) and identical parent relation.
+/// Node ids and vertex orders inside nodes may differ.
+bool HcdEquals(const HcdForest& a, const HcdForest& b);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_VALIDATE_H_

@@ -1,0 +1,64 @@
+#include "hcd/vertex_rank.h"
+
+#include "common/check.h"
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+
+VertexRank ComputeVertexRank(const CoreDecomposition& cd) {
+  const VertexId n = static_cast<VertexId>(cd.coreness.size());
+  const uint32_t num_shells = cd.k_max + 1;
+  VertexRank vr;
+  vr.sorted.resize(n);
+  vr.rank.resize(n);
+  vr.shell_start.assign(num_shells + 1, 0);
+  if (n == 0) return vr;
+
+  const int pmax = MaxThreads();
+  // counts[p * num_shells + k]: vertices of shell k owned by thread p.
+  std::vector<VertexId> counts(static_cast<size_t>(pmax) * num_shells, 0);
+  std::vector<VertexId> offsets(static_cast<size_t>(pmax) * num_shells, 0);
+
+  // Count and place inside ONE parallel region: the OpenMP spec guarantees
+  // identical iteration-to-thread assignment for two static-schedule loops
+  // only when they bind to the same region. The static chunks are
+  // contiguous ascending id blocks, so concatenating per-thread slices in
+  // thread order keeps each shell sorted by id (the Definition 4 ties).
+#pragma omp parallel num_threads(pmax)
+  {
+    const int p = ThreadId();
+    VertexId* my_counts = counts.data() + static_cast<size_t>(p) * num_shells;
+#pragma omp for schedule(static)
+    for (int64_t vi = 0; vi < static_cast<int64_t>(n); ++vi) {
+      ++my_counts[cd.coreness[static_cast<VertexId>(vi)]];
+    }
+    // (implicit barrier)
+#pragma omp single
+    {
+      // Exclusive scan over (shell, thread): shells concatenate in
+      // ascending k, per-thread slices within a shell in thread order.
+      VertexId running = 0;
+      for (uint32_t k = 0; k < num_shells; ++k) {
+        vr.shell_start[k] = running;
+        for (int q = 0; q < pmax; ++q) {
+          offsets[static_cast<size_t>(q) * num_shells + k] = running;
+          running += counts[static_cast<size_t>(q) * num_shells + k];
+        }
+      }
+      vr.shell_start[num_shells] = running;
+      HCD_CHECK_EQ(running, n);
+    }
+    // (implicit barrier after single)
+    VertexId* my_offsets = offsets.data() + static_cast<size_t>(p) * num_shells;
+#pragma omp for schedule(static)
+    for (int64_t vi = 0; vi < static_cast<int64_t>(n); ++vi) {
+      VertexId v = static_cast<VertexId>(vi);
+      VertexId pos = my_offsets[cd.coreness[v]]++;
+      vr.sorted[pos] = v;
+      vr.rank[v] = pos;
+    }
+  }
+  return vr;
+}
+
+}  // namespace hcd

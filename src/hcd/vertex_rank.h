@@ -1,0 +1,37 @@
+#ifndef HCD_HCD_VERTEX_RANK_H_
+#define HCD_HCD_VERTEX_RANK_H_
+
+#include <span>
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/types.h"
+
+namespace hcd {
+
+/// Output of the paper's Algorithm 1: all vertices sorted by vertex rank
+/// (Definition 4: ascending coreness, ties by ascending id), the inverse
+/// permutation r(v), and the k-shell boundaries inside the sorted order.
+struct VertexRank {
+  /// Vsort: vertices sorted by vertex rank.
+  std::vector<VertexId> sorted;
+  /// r(v): position of v in `sorted`. Lower value = lower vertex rank.
+  std::vector<VertexId> rank;
+  /// shell_start[k] .. shell_start[k+1] delimit H_k inside `sorted`;
+  /// size k_max + 2.
+  std::vector<VertexId> shell_start;
+
+  /// The k-shell H_k as a slice of the sorted order.
+  std::span<const VertexId> Shell(uint32_t k) const {
+    return {sorted.data() + shell_start[k],
+            static_cast<size_t>(shell_start[k + 1] - shell_start[k])};
+  }
+};
+
+/// Computes the vertex rank in parallel (Algorithm 1): a stable counting
+/// sort by coreness with per-thread shell bins. O(n) work.
+VertexRank ComputeVertexRank(const CoreDecomposition& cd);
+
+}  // namespace hcd
+
+#endif  // HCD_HCD_VERTEX_RANK_H_

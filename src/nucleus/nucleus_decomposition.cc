@@ -1,0 +1,166 @@
+#include "nucleus/nucleus_decomposition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+namespace {
+
+/// Invokes fn(x, t1, t2, t3) for every 4-clique {a,b,c,x} over triangle
+/// tri = (a,b,c), where t1..t3 are the ids of the three other triangles.
+template <typename Fn>
+void ForEachFourClique(const Graph& graph, const EdgeIndexer& eidx,
+                       const TriangleIndexer& tidx, TriIdx tri, Fn&& fn) {
+  const auto [a, b, c] = tidx.triangles[tri];
+  const EdgeIdx e_ab = eidx.IdOf(graph, a, b);
+  const EdgeIdx e_ac = eidx.IdOf(graph, a, c);
+  const EdgeIdx e_bc = eidx.IdOf(graph, b, c);
+  // Scan the lowest-degree corner's adjacency.
+  VertexId p = a;
+  VertexId q = b;
+  VertexId r = c;
+  if (graph.Degree(q) < graph.Degree(p)) std::swap(p, q);
+  if (graph.Degree(r) < graph.Degree(p)) std::swap(p, r);
+  for (VertexId x : graph.Neighbors(p)) {
+    if (x == q || x == r || x == a || x == b || x == c) continue;
+    if (!graph.HasEdge(q, x) || !graph.HasEdge(r, x)) continue;
+    const TriIdx t1 = tidx.IdOf(e_ab, x);
+    const TriIdx t2 = tidx.IdOf(e_ac, x);
+    const TriIdx t3 = tidx.IdOf(e_bc, x);
+    HCD_DCHECK(t1 != kInvalidTriangle);
+    HCD_DCHECK(t2 != kInvalidTriangle);
+    HCD_DCHECK(t3 != kInvalidTriangle);
+    fn(x, t1, t2, t3);
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeTriangleSupports(const Graph& graph,
+                                              const EdgeIndexer& eidx,
+                                              const TriangleIndexer& tidx) {
+  (void)eidx;
+  const TriIdx num_tris = tidx.NumTriangles();
+  std::vector<uint32_t> sup(num_tris, 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (int64_t ti = 0; ti < static_cast<int64_t>(num_tris); ++ti) {
+    const auto [a, b, c] = tidx.triangles[static_cast<TriIdx>(ti)];
+    VertexId p = a;
+    VertexId q = b;
+    VertexId r = c;
+    if (graph.Degree(q) < graph.Degree(p)) std::swap(p, q);
+    if (graph.Degree(r) < graph.Degree(p)) std::swap(p, r);
+    uint32_t s = 0;
+    for (VertexId x : graph.Neighbors(p)) {
+      if (x == a || x == b || x == c) continue;
+      s += graph.HasEdge(q, x) && graph.HasEdge(r, x);
+    }
+    sup[ti] = s;
+  }
+  return sup;
+}
+
+NucleusDecomposition PeelNucleusDecomposition(const Graph& graph,
+                                              const EdgeIndexer& eidx,
+                                              const TriangleIndexer& tidx) {
+  const TriIdx num_tris = tidx.NumTriangles();
+  NucleusDecomposition nd;
+  nd.theta.assign(num_tris, 0);
+  if (num_tris == 0) return nd;
+
+  std::vector<uint32_t> sup = ComputeTriangleSupports(graph, eidx, tidx);
+  const uint32_t max_sup = *std::max_element(sup.begin(), sup.end());
+
+  std::vector<TriIdx> bin(max_sup + 2, 0);
+  for (TriIdx t = 0; t < num_tris; ++t) ++bin[sup[t] + 1];
+  for (size_t s = 1; s < bin.size(); ++s) bin[s] += bin[s - 1];
+  std::vector<TriIdx> vert(num_tris);
+  std::vector<TriIdx> pos(num_tris);
+  {
+    std::vector<TriIdx> cursor(bin.begin(), bin.end() - 1);
+    for (TriIdx t = 0; t < num_tris; ++t) {
+      pos[t] = cursor[sup[t]];
+      vert[pos[t]] = t;
+      ++cursor[sup[t]];
+    }
+  }
+
+  auto lower_support = [&](TriIdx t, uint32_t floor_s) {
+    if (sup[t] <= floor_s) return;
+    const uint32_t st = sup[t];
+    const TriIdx pt = pos[t];
+    const TriIdx pw = bin[st];
+    const TriIdx w = vert[pw];
+    if (t != w) {
+      std::swap(vert[pt], vert[pw]);
+      pos[t] = pw;
+      pos[w] = pt;
+    }
+    ++bin[st];
+    --sup[t];
+  };
+
+  std::vector<bool> alive(num_tris, true);
+  for (TriIdx i = 0; i < num_tris; ++i) {
+    const TriIdx t = vert[i];
+    const uint32_t s = sup[t];
+    nd.theta[t] = s;
+    nd.k_max = std::max(nd.k_max, s);
+    alive[t] = false;
+    ForEachFourClique(graph, eidx, tidx, t,
+                      [&](VertexId, TriIdx t1, TriIdx t2, TriIdx t3) {
+                        if (alive[t1] && alive[t2] && alive[t3]) {
+                          lower_support(t1, s);
+                          lower_support(t2, s);
+                          lower_support(t3, s);
+                        }
+                      });
+  }
+  return nd;
+}
+
+NucleusDecomposition NaiveNucleusDecomposition(const Graph& graph,
+                                               const EdgeIndexer& eidx,
+                                               const TriangleIndexer& tidx) {
+  const TriIdx num_tris = tidx.NumTriangles();
+  NucleusDecomposition nd;
+  nd.theta.assign(num_tris, 0);
+  if (num_tris == 0) return nd;
+
+  std::vector<bool> alive(num_tris, true);
+  TriIdx remaining = num_tris;
+
+  auto alive_support = [&](TriIdx t) {
+    uint32_t s = 0;
+    ForEachFourClique(graph, eidx, tidx, t,
+                      [&](VertexId, TriIdx t1, TriIdx t2, TriIdx t3) {
+                        s += alive[t1] && alive[t2] && alive[t3];
+                      });
+    return s;
+  };
+
+  uint32_t k = 1;
+  while (remaining > 0) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (TriIdx t = 0; t < num_tris; ++t) {
+        if (alive[t] && alive_support(t) < k) {
+          alive[t] = false;
+          --remaining;
+          removed_any = true;
+        }
+      }
+    }
+    for (TriIdx t = 0; t < num_tris; ++t) {
+      if (alive[t]) nd.theta[t] = k;
+    }
+    if (remaining > 0) nd.k_max = k;
+    ++k;
+  }
+  return nd;
+}
+
+}  // namespace hcd

@@ -1,0 +1,37 @@
+#ifndef HCD_NUCLEUS_NUCLEUS_HIERARCHY_H_
+#define HCD_NUCLEUS_NUCLEUS_HIERARCHY_H_
+
+#include "hcd/forest.h"
+#include "nucleus/nucleus_decomposition.h"
+#include "nucleus/triangle_index.h"
+#include "truss/edge_index.h"
+
+namespace hcd {
+
+/// Hierarchical (3,4)-nucleus decomposition. The paper's related work
+/// observes that no parallel algorithm existed for nucleus hierarchy
+/// construction; this is the PHCD paradigm lifted once more — elements are
+/// triangles, connectivity comes from shared 4-cliques, shells are added
+/// in descending nucleus number with the pivot union-find, and parents are
+/// recovered exactly as in Algorithm 2's Steps 1-4.
+///
+/// Reuses HcdForest with elements = TriIdx.
+using NucleusForest = HcdForest;
+
+/// Parallel nucleus hierarchy construction. O(sum over triangles of
+/// 4-clique enumerations * alpha) after the decomposition.
+NucleusForest BuildNucleusHierarchy(const Graph& graph,
+                                    const EdgeIndexer& eidx,
+                                    const TriangleIndexer& tidx,
+                                    const NucleusDecomposition& nd);
+
+/// Definition-driven oracle (per-level BFS over the 4-clique adjacency of
+/// alive triangles); tests only.
+NucleusForest NaiveNucleusHierarchy(const Graph& graph,
+                                    const EdgeIndexer& eidx,
+                                    const TriangleIndexer& tidx,
+                                    const NucleusDecomposition& nd);
+
+}  // namespace hcd
+
+#endif  // HCD_NUCLEUS_NUCLEUS_HIERARCHY_H_

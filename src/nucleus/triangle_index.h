@@ -1,0 +1,43 @@
+#ifndef HCD_NUCLEUS_TRIANGLE_INDEX_H_
+#define HCD_NUCLEUS_TRIANGLE_INDEX_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/edge_index.h"
+
+namespace hcd {
+
+/// Identifier of a triangle: 0..T-1 in enumeration order.
+using TriIdx = uint32_t;
+inline constexpr TriIdx kInvalidTriangle = 0xFFFFFFFFu;
+
+/// Enumerates and indexes all triangles of a graph: the substrate for
+/// (3,4)-nucleus decomposition, where triangles play the role vertices
+/// play for k-core and edges for k-truss.
+struct TriangleIndexer {
+  /// Vertices of each triangle, ascending.
+  std::vector<std::array<VertexId, 3>> triangles;
+  /// Per-edge slices of (third vertex, triangle id), sorted by third
+  /// vertex; 3 entries per triangle overall.
+  std::vector<uint64_t> edge_tri_start;                    // size m+1
+  std::vector<std::pair<VertexId, TriIdx>> edge_tri;       // size 3T
+
+  TriIdx NumTriangles() const {
+    return static_cast<TriIdx>(triangles.size());
+  }
+
+  /// Triangle id completing edge `e` with vertex `w`, or kInvalidTriangle.
+  /// O(log #triangles on e).
+  TriIdx IdOf(EdgeIdx e, VertexId w) const;
+};
+
+/// Builds the indexer; O(m^1.5) enumeration plus a counting sort of the
+/// per-edge membership lists. Requires the triangle count to fit uint32.
+TriangleIndexer BuildTriangleIndexer(const Graph& graph,
+                                     const EdgeIndexer& eidx);
+
+}  // namespace hcd
+
+#endif  // HCD_NUCLEUS_TRIANGLE_INDEX_H_

@@ -1,0 +1,25 @@
+#include "parallel/union_find.h"
+
+namespace hcd {
+
+UnionFind::UnionFind(VertexId n, const VertexId* vertex_rank)
+    : nodes_(n), vertex_rank_(vertex_rank) {
+  for (VertexId v = 0; v < n; ++v) {
+    nodes_[v] = Node{v, v, 0};
+  }
+}
+
+VertexId UnionFind::LinkRoots(VertexId ru, VertexId rv) {
+  HCD_DCHECK(nodes_[ru].parent == ru);
+  HCD_DCHECK(nodes_[rv].parent == rv);
+  if (ru == rv) return ru;
+  if (nodes_[ru].uf_rank < nodes_[rv].uf_rank) std::swap(ru, rv);
+  nodes_[rv].parent = ru;
+  if (nodes_[ru].uf_rank == nodes_[rv].uf_rank) ++nodes_[ru].uf_rank;
+  if (RankLess(nodes_[rv].pivot, nodes_[ru].pivot)) {
+    nodes_[ru].pivot = nodes_[rv].pivot;
+  }
+  return ru;
+}
+
+}  // namespace hcd

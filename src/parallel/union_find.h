@@ -1,0 +1,75 @@
+#ifndef HCD_PARALLEL_UNION_FIND_H_
+#define HCD_PARALLEL_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/types.h"
+
+namespace hcd {
+
+/// Sequential union-find with the paper's pivot extension (Section III-B):
+/// every component tracks the member with the lowest vertex rank. Union by
+/// rank with path halving. Parent, UF-rank and pivot are packed per element
+/// so a find touches one cache line per hop.
+class UnionFind {
+ public:
+  /// `vertex_rank` maps each element to its rank position (Definition 4);
+  /// lower value = lower rank. Must outlive the structure. Pass nullptr to
+  /// compare pivots by element id.
+  explicit UnionFind(VertexId n, const VertexId* vertex_rank = nullptr);
+
+  VertexId Size() const { return static_cast<VertexId>(nodes_.size()); }
+
+  /// Representative of v's component.
+  VertexId Find(VertexId v) {
+    HCD_DCHECK(v < Size());
+    while (nodes_[v].parent != v) {
+      nodes_[v].parent = nodes_[nodes_[v].parent].parent;  // path halving
+      v = nodes_[v].parent;
+    }
+    return v;
+  }
+
+  /// Merges the components of u and v.
+  void Union(VertexId u, VertexId v) { LinkRoots(Find(u), Find(v)); }
+
+  bool SameSet(VertexId u, VertexId v) { return Find(u) == Find(v); }
+
+  /// Lowest-vertex-rank member of v's component (get_pivot in the paper).
+  VertexId GetPivot(VertexId v) { return nodes_[Find(v)].pivot; }
+
+  // Root-level primitives for performance-sensitive callers (e.g. the
+  // serial PHCD inner loop, which keeps the running root of the current
+  // vertex and pays one Find per edge instead of three).
+
+  /// Pivot stored at `root`; `root` must be a representative.
+  VertexId PivotAtRoot(VertexId root) const {
+    HCD_DCHECK(nodes_[root].parent == root);
+    return nodes_[root].pivot;
+  }
+
+  /// Merges the components of two representatives; returns the surviving
+  /// root. Both arguments must be roots (may be equal).
+  VertexId LinkRoots(VertexId ra, VertexId rb);
+
+ private:
+  struct Node {
+    VertexId parent;
+    VertexId pivot;
+    uint8_t uf_rank;
+  };
+
+  bool RankLess(VertexId a, VertexId b) const {
+    if (vertex_rank_ == nullptr) return a < b;
+    return vertex_rank_[a] < vertex_rank_[b];
+  }
+
+  std::vector<Node> nodes_;
+  const VertexId* vertex_rank_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_PARALLEL_UNION_FIND_H_

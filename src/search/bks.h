@@ -1,0 +1,53 @@
+#ifndef HCD_SEARCH_BKS_H_
+#define HCD_SEARCH_BKS_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "hcd/vertex_rank.h"
+#include "search/metrics.h"
+#include "search/pbks.h"
+
+namespace hcd {
+
+/// BKS's vertex-ordering preprocessing: every adjacency list re-ordered by
+/// descending neighbor coreness (bin-sort over coreness, O(m)). This is the
+/// heavier ordering step PBKS replaces with the O(1)-query coreness counts
+/// (Section IV-A discussion).
+struct BksIndex {
+  /// Flat re-ordered adjacency, using the graph's own offsets.
+  std::vector<VertexId> sorted_adj;
+};
+
+BksIndex BuildBksIndex(const Graph& graph, const CoreDecomposition& cd);
+
+/// Serial type-A primary values: vertices processed in descending coreness
+/// order; each scans only the prefix of its sorted adjacency with coreness
+/// >= its own, then a serial bottom-up accumulation. Mirrors BKS's
+/// descending-k incremental score computation.
+std::vector<PrimaryValues> BksTypeAPrimary(const Graph& graph,
+                                           const CoreDecomposition& cd,
+                                           const HcdForest& forest,
+                                           const BksIndex& index,
+                                           const VertexRank& vr);
+
+/// Serial type-B primary values: triangle counting by adjacency
+/// intersection from the higher-degree endpoint and triplet counting by
+/// scanning the coreness-sorted adjacency (the sorted order yields the
+/// per-coreness neighbor groups without scratch arrays). O(m^1.5).
+std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
+                                           const CoreDecomposition& cd,
+                                           const HcdForest& forest,
+                                           const BksIndex& index,
+                                           const VertexRank& vr);
+
+/// One-call serial subgraph search (BKS; Opt-D in Table IV when used with
+/// the average-degree metric).
+SearchResult BksSearch(const Graph& graph, const CoreDecomposition& cd,
+                       const HcdForest& forest, Metric metric);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_BKS_H_

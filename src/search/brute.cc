@@ -1,0 +1,45 @@
+#include "search/brute.h"
+
+#include <vector>
+
+namespace hcd {
+
+PrimaryValues BrutePrimaryValues(const Graph& graph,
+                                 const std::vector<VertexId>& vertices) {
+  std::vector<bool> in(graph.NumVertices(), false);
+  for (VertexId v : vertices) in[v] = true;
+
+  PrimaryValues pv;
+  pv.n_s = vertices.size();
+  for (VertexId v : vertices) {
+    uint64_t internal = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (in[u]) {
+        ++internal;
+      } else {
+        ++pv.boundary;
+      }
+    }
+    pv.edges2 += internal;           // every internal edge counted twice
+    pv.triplets += internal * (internal - 1) / 2;  // wedges centered at v
+    // Triangles: ordered corner counting (v smallest id inside the set).
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!in[u] || u <= v) continue;
+      for (VertexId w : graph.Neighbors(u)) {
+        if (in[w] && w > u && graph.HasEdge(v, w)) ++pv.triangles;
+      }
+    }
+  }
+  return pv;
+}
+
+std::vector<PrimaryValues> BruteNodePrimaryValues(const Graph& graph,
+                                                  const HcdForest& forest) {
+  std::vector<PrimaryValues> out(forest.NumNodes());
+  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
+    out[t] = BrutePrimaryValues(graph, forest.CoreVertices(t));
+  }
+  return out;
+}
+
+}  // namespace hcd

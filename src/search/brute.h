@@ -1,0 +1,26 @@
+#ifndef HCD_SEARCH_BRUTE_H_
+#define HCD_SEARCH_BRUTE_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "search/metrics.h"
+
+namespace hcd {
+
+/// Brute-force oracle: primary values of one vertex set computed directly
+/// from the graph (explicit edge, boundary, triangle and wedge counting).
+/// O(sum of d(v)^2) over the set; for tests.
+PrimaryValues BrutePrimaryValues(const Graph& graph,
+                                 const std::vector<VertexId>& vertices);
+
+/// Primary values of every tree node's original k-core via
+/// BrutePrimaryValues; the ground truth for PBKS/BKS in tests.
+std::vector<PrimaryValues> BruteNodePrimaryValues(const Graph& graph,
+                                                  const HcdForest& forest);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_BRUTE_H_

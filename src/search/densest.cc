@@ -1,0 +1,194 @@
+#include "search/densest.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "graph/subgraph.h"
+#include "search/pbks.h"
+#include "search/searcher.h"
+
+namespace hcd {
+namespace {
+
+double AverageDegreeOf(const Graph& graph,
+                       const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return 0.0;
+  const EdgeIndex m = CountInducedEdges(graph, vertices);
+  return 2.0 * static_cast<double>(m) / static_cast<double>(vertices.size());
+}
+
+}  // namespace
+
+DenseSubgraph PbksDensest(const Graph& graph, const CoreDecomposition& cd,
+                          const HcdForest& forest) {
+  SubgraphSearcher searcher(graph, cd, forest);
+  const SearchResult result = searcher.Search(Metric::kAverageDegree);
+  DenseSubgraph out;
+  if (result.best_node == kInvalidNode) return out;
+  out.vertices = searcher.CoreVertices(result);
+  out.average_degree = result.best_score;
+  return out;
+}
+
+DenseSubgraph CoreAppDensest(const Graph& graph, const CoreDecomposition& cd) {
+  const VertexId n = graph.NumVertices();
+  DenseSubgraph out;
+  if (n == 0) return out;
+
+  // Connected components of {v : c(v) == k_max} under coreness >= k_max
+  // reachability: the k_max-cores.
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (cd.coreness[s] != cd.k_max || seen[s]) continue;
+    std::vector<VertexId> comp;
+    stack.assign(1, s);
+    seen[s] = true;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (VertexId u : graph.Neighbors(v)) {
+        if (!seen[u] && cd.coreness[u] >= cd.k_max) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    const double avg = AverageDegreeOf(graph, comp);
+    if (avg > out.average_degree || out.vertices.empty()) {
+      out.vertices = std::move(comp);
+      out.average_degree = avg;
+    }
+  }
+  return out;
+}
+
+DenseSubgraph CharikarPeelingDensest(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  DenseSubgraph out;
+  if (n == 0) return out;
+
+  // Peel minimum-degree vertices (bucket queue), tracking the density of
+  // every suffix; return the best one.
+  std::vector<VertexId> deg(n);
+  VertexId max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = graph.Degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<VertexId> bin(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> vert(n);
+  std::vector<VertexId> pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+
+  uint64_t edges_left = graph.NumEdges();
+  double best_density = -1.0;
+  VertexId best_peeled = 0;  // best subgraph = vertices peeled at index >= this
+  for (VertexId i = 0; i < n; ++i) {
+    const double density = static_cast<double>(2 * edges_left) /
+                           static_cast<double>(n - i);
+    if (density > best_density) {
+      best_density = density;
+      best_peeled = i;
+    }
+    VertexId v = vert[i];
+    // Edges removed with v = its neighbors still in the suffix. (deg[v]
+    // itself can overcount: the bucket updates freeze equal-degree
+    // neighbors, BZ-style.)
+    for (VertexId u : graph.Neighbors(v)) {
+      if (pos[u] > i) --edges_left;
+    }
+    for (VertexId u : graph.Neighbors(v)) {
+      if (deg[u] > deg[v]) {
+        VertexId du = deg[u];
+        VertexId pu = pos[u];
+        VertexId pw = bin[du];
+        VertexId w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --deg[u];
+      }
+    }
+  }
+  out.vertices.assign(vert.begin() + best_peeled, vert.end());
+  out.average_degree = best_density;
+  return out;
+}
+
+DenseSubgraph GreedyPlusPlusDensest(const Graph& graph, int iterations) {
+  const VertexId n = graph.NumVertices();
+  DenseSubgraph out;
+  if (n == 0 || graph.NumEdges() == 0) return out;
+  HCD_CHECK_GE(iterations, 1);
+
+  std::vector<double> load(n, 0.0);
+  std::vector<VertexId> deg(n);
+  std::vector<bool> removed(n);
+  std::vector<VertexId> order(n);
+  double best_density = -1.0;
+
+  for (int it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) deg[v] = graph.Degree(v);
+    std::fill(removed.begin(), removed.end(), false);
+
+    // Lazy min-heap keyed by load + current degree; stale entries are
+    // skipped when their recorded key no longer matches.
+    using Entry = std::pair<double, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (VertexId v = 0; v < n; ++v) heap.emplace(load[v] + deg[v], v);
+
+    uint64_t edges_left = graph.NumEdges();
+    double round_best = -1.0;
+    VertexId round_cut = 0;
+    for (VertexId i = 0; i < n; ++i) {
+      VertexId v = kInvalidVertex;
+      while (true) {
+        auto [key, cand] = heap.top();
+        heap.pop();
+        if (!removed[cand] && key == load[cand] + deg[cand]) {
+          v = cand;
+          break;
+        }
+      }
+      const double density =
+          static_cast<double>(2 * edges_left) / static_cast<double>(n - i);
+      if (density > round_best) {
+        round_best = density;
+        round_cut = i;
+      }
+      order[i] = v;
+      removed[v] = true;
+      load[v] += deg[v];
+      edges_left -= deg[v];
+      for (VertexId u : graph.Neighbors(v)) {
+        if (!removed[u]) {
+          --deg[u];
+          heap.emplace(load[u] + deg[u], u);
+        }
+      }
+    }
+    if (round_best > best_density) {
+      best_density = round_best;
+      out.vertices.assign(order.begin() + round_cut, order.end());
+    }
+  }
+  out.average_degree = best_density;
+  return out;
+}
+
+}  // namespace hcd

@@ -1,0 +1,45 @@
+#ifndef HCD_SEARCH_DENSEST_H_
+#define HCD_SEARCH_DENSEST_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+
+namespace hcd {
+
+/// A subgraph returned by a densest-subgraph routine.
+struct DenseSubgraph {
+  std::vector<VertexId> vertices;
+  /// 2*m(S)/n(S) of the returned subgraph.
+  double average_degree = 0.0;
+};
+
+/// PBKS-D (Section V-C): the k-core with the highest average degree, found
+/// on the HCD with PBKS. 0.5-approximation for the densest subgraph (it
+/// never scores below the k_max-core). Parallel.
+DenseSubgraph PbksDensest(const Graph& graph, const CoreDecomposition& cd,
+                          const HcdForest& forest);
+
+/// Core-based approximate densest subgraph in the style of CoreApp
+/// (Fang et al., the paper's Table IV baseline): returns the best connected
+/// component of the k_max-core, the classic 0.5-approximation. Its average
+/// degree can only be <= PBKS-D's, which optimizes over every k-core.
+DenseSubgraph CoreAppDensest(const Graph& graph, const CoreDecomposition& cd);
+
+/// Charikar's greedy peeling 0.5-approximation (peel minimum-degree
+/// vertices, keep the best prefix). Not connectivity-constrained; included
+/// as an additional quality reference for Table IV.
+DenseSubgraph CharikarPeelingDensest(const Graph& graph);
+
+/// Greedy++ (Boob et al.): `iterations` rounds of load-weighted peeling
+/// (each round peels by current degree plus the loads accumulated in
+/// earlier rounds), keeping the densest suffix seen. Converges toward the
+/// exact densest subgraph as iterations grow; iteration 1 is Charikar's
+/// peeling. O(iterations * m log n).
+DenseSubgraph GreedyPlusPlusDensest(const Graph& graph, int iterations);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_DENSEST_H_

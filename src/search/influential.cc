@@ -1,0 +1,100 @@
+#include "search/influential.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hcd {
+namespace {
+
+/// Runs the ascending-weight peeling once. Emits the component of each
+/// processed vertex for steps >= record_from into `out` (pass a huge
+/// record_from to only count steps). Returns the number of steps.
+uint64_t PeelPass(const Graph& graph, const std::vector<double>& weights,
+                  uint32_t k, const std::vector<VertexId>& by_weight,
+                  uint64_t record_from,
+                  std::vector<InfluentialCommunity>* out) {
+  const VertexId n = graph.NumVertices();
+  std::vector<bool> alive(n, true);
+  std::vector<VertexId> deg(n);
+  std::vector<VertexId> queue;
+
+  // Restrict to the k-core.
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = graph.Degree(v);
+    if (deg[v] < k) queue.push_back(v);
+  }
+  auto cascade = [&] {
+    while (!queue.empty()) {
+      VertexId v = queue.back();
+      queue.pop_back();
+      if (!alive[v]) continue;
+      alive[v] = false;
+      for (VertexId u : graph.Neighbors(v)) {
+        if (alive[u] && deg[u]-- == k) queue.push_back(u);
+      }
+    }
+  };
+  cascade();
+
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack;
+  uint64_t step = 0;
+  for (VertexId v : by_weight) {
+    if (!alive[v]) continue;
+    if (step >= record_from && out != nullptr) {
+      InfluentialCommunity community;
+      community.influence = weights[v];
+      stack.assign(1, v);
+      seen[v] = true;
+      while (!stack.empty()) {
+        VertexId x = stack.back();
+        stack.pop_back();
+        community.vertices.push_back(x);
+        for (VertexId u : graph.Neighbors(x)) {
+          if (alive[u] && !seen[u]) {
+            seen[u] = true;
+            stack.push_back(u);
+          }
+        }
+      }
+      for (VertexId x : community.vertices) seen[x] = false;
+      out->push_back(std::move(community));
+    }
+    ++step;
+    // Delete v and restore the min-degree-k invariant.
+    alive[v] = false;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (alive[u] && deg[u]-- == k) queue.push_back(u);
+    }
+    cascade();
+  }
+  return step;
+}
+
+}  // namespace
+
+std::vector<InfluentialCommunity> TopInfluentialCommunities(
+    const Graph& graph, const std::vector<double>& weights, uint32_t k,
+    uint32_t r) {
+  const VertexId n = graph.NumVertices();
+  HCD_CHECK_EQ(weights.size(), n);
+  std::vector<VertexId> by_weight(n);
+  std::iota(by_weight.begin(), by_weight.end(), 0);
+  std::stable_sort(by_weight.begin(), by_weight.end(),
+                   [&weights](VertexId a, VertexId b) {
+                     return weights[a] < weights[b];
+                   });
+
+  const uint64_t total =
+      PeelPass(graph, weights, k, by_weight, ~0ull, nullptr);
+  const uint64_t record_from = total > r ? total - r : 0;
+  std::vector<InfluentialCommunity> result;
+  PeelPass(graph, weights, k, by_weight, record_from, &result);
+  // Emission order is ascending influence; report descending.
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace hcd

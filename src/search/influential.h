@@ -1,0 +1,33 @@
+#ifndef HCD_SEARCH_INFLUENTIAL_H_
+#define HCD_SEARCH_INFLUENTIAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// A k-influential community (Li et al., the paper's Section VI index
+/// application): a connected subgraph with minimum internal degree >= k,
+/// whose *influence* is the smallest member weight; communities are emitted
+/// in the maximal, non-contained form produced by ascending-weight peeling.
+struct InfluentialCommunity {
+  double influence = 0.0;
+  std::vector<VertexId> vertices;
+};
+
+/// Top-r k-influential communities of `graph` under per-vertex `weights`,
+/// in descending influence.
+///
+/// Peeling semantics: restrict to the k-core; repeatedly emit the connected
+/// component of the minimum-weight remaining vertex (its influence is that
+/// weight), then delete the vertex and cascade the min-degree-k constraint.
+/// Two passes keep the cost at O(m) peeling plus the size of the r reported
+/// communities.
+std::vector<InfluentialCommunity> TopInfluentialCommunities(
+    const Graph& graph, const std::vector<double>& weights, uint32_t k,
+    uint32_t r);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_INFLUENTIAL_H_

@@ -1,0 +1,130 @@
+#include "search/max_clique.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hcd {
+namespace {
+
+class CliqueSolver {
+ public:
+  CliqueSolver(const Graph& graph, const CoreDecomposition& cd)
+      : graph_(graph), cd_(cd) {}
+
+  std::vector<VertexId> Solve() {
+    const VertexId n = graph_.NumVertices();
+    if (n == 0) return {};
+
+    // Degeneracy order = ascending coreness (ties by id) works for the
+    // outer expansion: when v is processed, only later vertices remain as
+    // candidates, and |later neighbors| <= 2 * c(v) style bounds apply.
+    std::vector<VertexId> order(n);
+    std::vector<VertexId> position(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](VertexId a, VertexId b) {
+                       return cd_.coreness[a] < cd_.coreness[b];
+                     });
+    for (VertexId i = 0; i < n; ++i) position[order[i]] = i;
+
+    best_.clear();
+    std::vector<VertexId> r;
+    std::vector<VertexId> p;
+    for (VertexId i = 0; i < n; ++i) {
+      const VertexId v = order[i];
+      if (cd_.coreness[v] + 1 <= best_.size()) continue;
+      p.clear();
+      for (VertexId u : graph_.Neighbors(v)) {
+        if (position[u] > i && cd_.coreness[u] + 1 > best_.size()) {
+          p.push_back(u);
+        }
+      }
+      r.assign(1, v);
+      Expand(&r, p);
+    }
+    return best_;
+  }
+
+ private:
+  void Expand(std::vector<VertexId>* r, std::vector<VertexId> p) {
+    if (p.empty()) {
+      if (r->size() > best_.size()) best_ = *r;
+      return;
+    }
+    // Greedy coloring bound (Tomita): candidates reordered by color class;
+    // expanding in reverse color order lets us cut as soon as
+    // |R| + color <= |best|.
+    std::vector<VertexId> colored;
+    std::vector<uint32_t> color_of;
+    ColorSort(p, &colored, &color_of);
+
+    for (size_t i = colored.size(); i-- > 0;) {
+      if (r->size() + color_of[i] <= best_.size()) return;
+      const VertexId v = colored[i];
+      std::vector<VertexId> next;
+      for (size_t j = 0; j < i; ++j) {
+        if (graph_.HasEdge(v, colored[j])) next.push_back(colored[j]);
+      }
+      r->push_back(v);
+      Expand(r, std::move(next));
+      r->pop_back();
+    }
+  }
+
+  /// Partitions `p` into independent color classes; emits the candidates
+  /// class by class with 1-based class numbers.
+  void ColorSort(const std::vector<VertexId>& p, std::vector<VertexId>* out,
+                 std::vector<uint32_t>* colors) {
+    std::vector<std::vector<VertexId>> classes;
+    for (VertexId v : p) {
+      bool placed = false;
+      for (auto& cls : classes) {
+        bool conflict = false;
+        for (VertexId u : cls) {
+          if (graph_.HasEdge(v, u)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) {
+          cls.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) classes.push_back({v});
+    }
+    out->clear();
+    colors->clear();
+    for (uint32_t c = 0; c < classes.size(); ++c) {
+      for (VertexId v : classes[c]) {
+        out->push_back(v);
+        colors->push_back(c + 1);
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const CoreDecomposition& cd_;
+  std::vector<VertexId> best_;
+};
+
+}  // namespace
+
+std::vector<VertexId> MaxClique(const Graph& graph,
+                                const CoreDecomposition& cd) {
+  HCD_CHECK_EQ(cd.coreness.size(), graph.NumVertices());
+  return CliqueSolver(graph, cd).Solve();
+}
+
+bool IsClique(const Graph& graph, const std::vector<VertexId>& vertices) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!graph.HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hcd

@@ -1,0 +1,24 @@
+#ifndef HCD_SEARCH_MAX_CLIQUE_H_
+#define HCD_SEARCH_MAX_CLIQUE_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// Exact maximum clique via branch-and-bound with greedy-coloring bounds
+/// over a degeneracy-ordered candidate expansion, with coreness pruning
+/// (a vertex of coreness c cannot be in a clique larger than c+1).
+/// Exponential worst case; practical on the benchmark-suite graphs. Used to
+/// verify Table IV's "MC ⊆ S*" column.
+std::vector<VertexId> MaxClique(const Graph& graph,
+                                const CoreDecomposition& cd);
+
+/// True iff `vertices` is a clique in `graph`.
+bool IsClique(const Graph& graph, const std::vector<VertexId>& vertices);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_MAX_CLIQUE_H_

@@ -1,0 +1,86 @@
+#include "search/metrics.h"
+
+#include "common/check.h"
+
+namespace hcd {
+
+bool IsTypeB(Metric metric) {
+  return metric == Metric::kClusteringCoefficient ||
+         metric == Metric::kTriangleDensity;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kAverageDegree:
+      return "average-degree";
+    case Metric::kInternalDensity:
+      return "internal-density";
+    case Metric::kCutRatio:
+      return "cut-ratio";
+    case Metric::kConductance:
+      return "conductance";
+    case Metric::kModularity:
+      return "modularity";
+    case Metric::kClusteringCoefficient:
+      return "clustering-coefficient";
+    case Metric::kExpansion:
+      return "expansion";
+    case Metric::kSeparability:
+      return "separability";
+    case Metric::kTriangleDensity:
+      return "triangle-density";
+  }
+  return "unknown";
+}
+
+double EvaluateMetric(Metric metric, const PrimaryValues& pv,
+                      const GraphGlobals& globals) {
+  const double n_s = static_cast<double>(pv.n_s);
+  const double m2 = static_cast<double>(pv.edges2);
+  const double b = static_cast<double>(pv.boundary);
+  switch (metric) {
+    case Metric::kAverageDegree:
+      return pv.n_s == 0 ? 0.0 : m2 / n_s;
+    case Metric::kInternalDensity:
+      return pv.n_s <= 1 ? 0.0 : m2 / (n_s * (n_s - 1.0));
+    case Metric::kCutRatio: {
+      if (pv.n_s == 0) return 0.0;
+      const double outside = static_cast<double>(globals.n) - n_s;
+      if (outside <= 0.0) return 1.0;  // whole graph: no boundary possible
+      return 1.0 - b / (n_s * outside);
+    }
+    case Metric::kConductance: {
+      const double denom = m2 + b;
+      return denom <= 0.0 ? 0.0 : 1.0 - b / denom;
+    }
+    case Metric::kModularity: {
+      // Two-community partition {S, V \ S} (Section II-D, Newman-Girvan).
+      if (globals.m == 0) return 0.0;  // modularity is undefined; score 0
+      const double m = static_cast<double>(globals.m);
+      const double m_in = m2 / 2.0;
+      const double m_out = m - m_in - b;
+      const double deg_in = (m2 + b) / (2.0 * m);
+      const double deg_out = (2.0 * m_out + b) / (2.0 * m);
+      return m_in / m - deg_in * deg_in + m_out / m - deg_out * deg_out;
+    }
+    case Metric::kClusteringCoefficient:
+      return pv.triplets == 0
+                 ? 0.0
+                 : 3.0 * static_cast<double>(pv.triangles) /
+                       static_cast<double>(pv.triplets);
+    case Metric::kExpansion:
+      return pv.n_s == 0 ? 0.0 : 1.0 / (1.0 + b / n_s);
+    case Metric::kSeparability: {
+      const double m_in = m2 / 2.0;
+      return m_in + b <= 0.0 ? 0.0 : m_in / (m_in + b);
+    }
+    case Metric::kTriangleDensity: {
+      if (pv.n_s < 3) return 0.0;
+      const double triples = n_s * (n_s - 1.0) * (n_s - 2.0) / 6.0;
+      return static_cast<double>(pv.triangles) / triples;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace hcd

@@ -1,0 +1,61 @@
+#ifndef HCD_SEARCH_PBKS_H_
+#define HCD_SEARCH_PBKS_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "hcd/vertex_rank.h"
+#include "search/metrics.h"
+#include "search/preprocess.h"
+
+namespace hcd {
+
+/// Result of a subgraph search: the best k-core (as a tree node of the HCD)
+/// plus the score of every k-core.
+struct SearchResult {
+  TreeNodeId best_node = kInvalidNode;
+  double best_score = 0.0;
+  /// scores[i]: score of node i's original k-core.
+  std::vector<double> scores;
+};
+
+/// Type-A primary values of every k-core (Algorithm 4 without the metric
+/// evaluation): vertex-centric parallel counting (each vertex/edge counted
+/// once, at its lowest-vertex-rank endpoint's tree node) followed by a
+/// parallel bottom-up tree accumulation. Entry i holds the fully
+/// accumulated n(S), 2*m(S), b(S) of node i's original k-core. O(n) work
+/// after preprocessing.
+std::vector<PrimaryValues> PbksTypeAPrimary(const Graph& graph,
+                                            const CoreDecomposition& cd,
+                                            const HcdForest& forest,
+                                            const CorenessNeighborCounts& pre);
+
+/// Type-B primary values of every k-core (Algorithm 5): parallel triangle
+/// counting (each triangle attributed to its lowest-vertex-rank corner) and
+/// triplet counting (each open wedge attributed to its lowest-rank member),
+/// then parallel bottom-up accumulation. Entry i holds Delta(S) and t(S) of
+/// node i's original k-core. O(m^1.5) work.
+std::vector<PrimaryValues> PbksTypeBPrimary(const Graph& graph,
+                                            const CoreDecomposition& cd,
+                                            const HcdForest& forest,
+                                            const VertexRank& vr,
+                                            const CorenessNeighborCounts& pre);
+
+/// Evaluates `metric` on every node's accumulated primary values and
+/// returns all scores plus the best k-core (Algorithm 3's final step).
+SearchResult ScoreNodes(const HcdForest& forest, Metric metric,
+                        const std::vector<PrimaryValues>& accumulated,
+                        const GraphGlobals& globals);
+
+/// One-call parallel subgraph search (PBKS, Section IV-D): preprocessing,
+/// the right primary-value computation for `metric`, and scoring. Callers
+/// evaluating several metrics should use SubgraphSearcher (searcher.h) to
+/// reuse the preprocessing and primary values.
+SearchResult PbksSearch(const Graph& graph, const CoreDecomposition& cd,
+                        const HcdForest& forest, Metric metric);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_PBKS_H_

@@ -1,0 +1,28 @@
+#include "search/preprocess.h"
+
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+
+CorenessNeighborCounts PreprocessCorenessCounts(const Graph& graph,
+                                                const CoreDecomposition& cd) {
+  const VertexId n = graph.NumVertices();
+  CorenessNeighborCounts counts;
+  counts.greater.assign(n, 0);
+  counts.equal.assign(n, 0);
+  ParallelForDynamic<VertexId>(0, n, [&](VertexId v) {
+    const uint32_t cv = cd.coreness[v];
+    VertexId gt = 0;
+    VertexId eq = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      const uint32_t cu = cd.coreness[u];
+      gt += cu > cv;
+      eq += cu == cv;
+    }
+    counts.greater[v] = gt;
+    counts.equal[v] = eq;
+  });
+  return counts;
+}
+
+}  // namespace hcd

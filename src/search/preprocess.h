@@ -1,0 +1,31 @@
+#ifndef HCD_SEARCH_PREPROCESS_H_
+#define HCD_SEARCH_PREPROCESS_H_
+
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace hcd {
+
+/// PBKS preprocessing (Section IV-A): for every vertex, the number of
+/// neighbors with coreness greater than / equal to its own. Together with
+/// the degree this answers all "neighbors with less / equal / greater
+/// coreness" queries in O(1). Executed once, reused by every metric.
+struct CorenessNeighborCounts {
+  std::vector<VertexId> greater;  ///< |{u in N(v) : c(u) > c(v)}|
+  std::vector<VertexId> equal;    ///< |{u in N(v) : c(u) = c(v)}|
+
+  VertexId Less(const Graph& graph, VertexId v) const {
+    return graph.Degree(v) - greater[v] - equal[v];
+  }
+};
+
+/// Computes the counts with a parallel scan of all adjacency lists; O(m)
+/// work over the current OpenMP threads.
+CorenessNeighborCounts PreprocessCorenessCounts(const Graph& graph,
+                                                const CoreDecomposition& cd);
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_PREPROCESS_H_

@@ -1,0 +1,41 @@
+#include "search/searcher.h"
+
+namespace hcd {
+
+SubgraphSearcher::SubgraphSearcher(const Graph& graph,
+                                   const CoreDecomposition& cd,
+                                   const HcdForest& forest)
+    : graph_(graph),
+      cd_(cd),
+      forest_(forest),
+      pre_(PreprocessCorenessCounts(graph, cd)),
+      globals_{graph.NumVertices(), graph.NumEdges()} {}
+
+const std::vector<PrimaryValues>& SubgraphSearcher::TypeAPrimary() {
+  if (!type_a_) {
+    type_a_ = PbksTypeAPrimary(graph_, cd_, forest_, pre_);
+  }
+  return *type_a_;
+}
+
+const std::vector<PrimaryValues>& SubgraphSearcher::TypeBPrimary() {
+  if (!type_b_) {
+    if (!vr_) vr_ = ComputeVertexRank(cd_);
+    type_b_ = PbksTypeBPrimary(graph_, cd_, forest_, *vr_, pre_);
+  }
+  return *type_b_;
+}
+
+SearchResult SubgraphSearcher::Search(Metric metric) {
+  const std::vector<PrimaryValues>& primary =
+      IsTypeB(metric) ? TypeBPrimary() : TypeAPrimary();
+  return ScoreNodes(forest_, metric, primary, globals_);
+}
+
+std::vector<VertexId> SubgraphSearcher::CoreVertices(
+    const SearchResult& result) const {
+  if (result.best_node == kInvalidNode) return {};
+  return forest_.CoreVertices(result.best_node);
+}
+
+}  // namespace hcd

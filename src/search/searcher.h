@@ -1,0 +1,55 @@
+#ifndef HCD_SEARCH_SEARCHER_H_
+#define HCD_SEARCH_SEARCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "hcd/vertex_rank.h"
+#include "search/metrics.h"
+#include "search/pbks.h"
+#include "search/preprocess.h"
+
+namespace hcd {
+
+/// Facade over PBKS (Section IV-D): runs the coreness-count preprocessing
+/// once at construction and lazily computes + caches the type-A and type-B
+/// primary values, so scoring several metrics over the same HCD costs one
+/// primary-value pass per type plus O(|T|) per metric.
+///
+/// The referenced graph, decomposition and forest must outlive the
+/// searcher.
+class SubgraphSearcher {
+ public:
+  SubgraphSearcher(const Graph& graph, const CoreDecomposition& cd,
+                   const HcdForest& forest);
+
+  SubgraphSearcher(const SubgraphSearcher&) = delete;
+  SubgraphSearcher& operator=(const SubgraphSearcher&) = delete;
+
+  /// Best k-core and all scores under `metric` (parallel).
+  SearchResult Search(Metric metric);
+
+  /// Vertices of the best k-core found by a search.
+  std::vector<VertexId> CoreVertices(const SearchResult& result) const;
+
+  /// Accumulated primary values per tree node (computes on first use).
+  const std::vector<PrimaryValues>& TypeAPrimary();
+  const std::vector<PrimaryValues>& TypeBPrimary();
+
+ private:
+  const Graph& graph_;
+  const CoreDecomposition& cd_;
+  const HcdForest& forest_;
+  CorenessNeighborCounts pre_;
+  GraphGlobals globals_;
+  std::optional<VertexRank> vr_;
+  std::optional<std::vector<PrimaryValues>> type_a_;
+  std::optional<std::vector<PrimaryValues>> type_b_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_SEARCH_SEARCHER_H_

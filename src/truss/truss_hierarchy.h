@@ -1,0 +1,65 @@
+#ifndef HCD_TRUSS_TRUSS_HIERARCHY_H_
+#define HCD_TRUSS_TRUSS_HIERARCHY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "truss/edge_index.h"
+#include "truss/truss_decomposition.h"
+
+namespace hcd {
+
+/// Hierarchical truss decomposition: the PHCD paradigm (Section VI "other
+/// cohesive subgraph models") ported from vertices/k-cores to edges/
+/// k-trusses. Tree nodes hold *edge* ids: node at level k stores the edges
+/// of trussness k of one k-truss component (components are vertex-
+/// connected), and parents record truss containment.
+///
+/// Reuses HcdForest with elements = EdgeIdx; Tid/Vertices/CoreVertices all
+/// operate on edge ids.
+using TrussForest = HcdForest;
+
+/// Parallel hierarchical truss construction: adds edge shells in
+/// descending trussness; connectivity among added edges is maintained in
+/// the pivot union-find, with one *anchor* edge per vertex (all edges
+/// incident to a vertex are mutually connected through it, so chaining each
+/// arriving edge to the vertex's previous anchor with an atomic exchange
+/// yields exact components). Pivot capture / grouping / parent assignment
+/// mirror PHCD's Steps 1-4. O(m alpha(m)) after the truss decomposition.
+TrussForest BuildTrussHierarchy(const Graph& graph, const EdgeIndexer& index,
+                                const TrussDecomposition& td);
+
+/// Definition-driven oracle: per level, components by label propagation
+/// over the edge set {e : trussness >= k}; tests only. O(k_max * m alpha).
+TrussForest NaiveTrussHierarchy(const Graph& graph, const EdgeIndexer& index,
+                                const TrussDecomposition& td);
+
+/// The k-truss component of `node` as a vertex set (distinct endpoints of
+/// the subtree's edges), plus its edge count; used by truss search.
+struct TrussCommunity {
+  std::vector<VertexId> vertices;
+  uint64_t num_edges = 0;
+  double AverageDegree() const {
+    return vertices.empty() ? 0.0
+                            : 2.0 * static_cast<double>(num_edges) /
+                                  static_cast<double>(vertices.size());
+  }
+};
+
+TrussCommunity TrussCommunityOf(const Graph& graph, const EdgeIndexer& index,
+                                const TrussForest& forest, TreeNodeId node);
+
+/// The k-truss (over all k) with the highest average degree — the truss
+/// analogue of PBKS-D. O(sum of community sizes) = O(k_max * m) worst case.
+struct DensestTrussResult {
+  TreeNodeId node = kInvalidNode;
+  uint32_t level = 0;
+  TrussCommunity community;
+};
+DensestTrussResult DensestTruss(const Graph& graph, const EdgeIndexer& index,
+                                const TrussForest& forest);
+
+}  // namespace hcd
+
+#endif  // HCD_TRUSS_TRUSS_HIERARCHY_H_

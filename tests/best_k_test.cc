@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "search/best_k.h"
+#include "search/brute.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+/// Oracle: primary values of K_k = {v : c(v) >= k} computed brute-force.
+PrimaryValues BruteKCoreSet(const Graph& g, const CoreDecomposition& cd,
+                            uint32_t k) {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (cd.coreness[v] >= k) members.push_back(v);
+  }
+  return BrutePrimaryValues(g, members);
+}
+
+class BestKSuite : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(BestKSuite, PerKPrimaryValuesMatchBruteForce) {
+  const Graph& g = GetParam().graph;
+  if (g.NumVertices() == 0) return;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  BestKResult r = FindBestK(g, cd, Metric::kClusteringCoefficient);
+  ASSERT_EQ(r.per_k.size(), cd.k_max + 1);
+  for (uint32_t k = 0; k <= cd.k_max; ++k) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    PrimaryValues want = BruteKCoreSet(g, cd, k);
+    EXPECT_EQ(r.per_k[k].n_s, want.n_s);
+    EXPECT_EQ(r.per_k[k].edges2, want.edges2);
+    EXPECT_EQ(r.per_k[k].boundary, want.boundary);
+    EXPECT_EQ(r.per_k[k].triangles, want.triangles);
+    EXPECT_EQ(r.per_k[k].triplets, want.triplets);
+  }
+}
+
+TEST_P(BestKSuite, BestKIsArgmax) {
+  const Graph& g = GetParam().graph;
+  if (g.NumVertices() == 0) return;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  for (Metric metric : {Metric::kAverageDegree, Metric::kConductance,
+                        Metric::kClusteringCoefficient}) {
+    SCOPED_TRACE(MetricName(metric));
+    BestKResult r = FindBestK(g, cd, metric);
+    for (double s : r.scores) EXPECT_LE(s, r.best_score + 1e-12);
+    EXPECT_DOUBLE_EQ(r.scores[r.best_k], r.best_score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, BestKSuite, ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(BestK, PaperFigure1AverageDegree) {
+  // K_3 (both 3-cores together: 13 vertices, 26 edges) has average degree
+  // 4; K_4 (the octahedron) also has 4; K_2 (whole graph) has 30*2/16.
+  Graph g = PaperFigure1Graph();
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  BestKResult r = FindBestK(g, cd, Metric::kAverageDegree);
+  EXPECT_NEAR(r.scores[2], 2.0 * 30 / 16, 1e-12);
+  EXPECT_NEAR(r.scores[3], 4.0, 1e-12);
+  EXPECT_NEAR(r.scores[4], 4.0, 1e-12);
+  EXPECT_EQ(r.best_k, 3u);
+}
+
+}  // namespace
+}  // namespace hcd

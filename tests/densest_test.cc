@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "hcd/naive_hcd.h"
+#include "search/densest.h"
+#include "search/max_clique.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+double InducedAverageDegree(const Graph& g, const std::vector<VertexId>& vs) {
+  if (vs.empty()) return 0.0;
+  return 2.0 * static_cast<double>(CountInducedEdges(g, vs)) /
+         static_cast<double>(vs.size());
+}
+
+class DensestSuite : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(DensestSuite, ReportedDensityMatchesSubgraph) {
+  const Graph& g = GetParam().graph;
+  if (g.NumVertices() == 0) return;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+
+  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  EXPECT_NEAR(pbks.average_degree, InducedAverageDegree(g, pbks.vertices),
+              1e-9);
+  DenseSubgraph coreapp = CoreAppDensest(g, cd);
+  EXPECT_NEAR(coreapp.average_degree,
+              InducedAverageDegree(g, coreapp.vertices), 1e-9);
+  DenseSubgraph peel = CharikarPeelingDensest(g);
+  EXPECT_NEAR(peel.average_degree, InducedAverageDegree(g, peel.vertices),
+              1e-9);
+}
+
+TEST_P(DensestSuite, PbksDNeverWorseThanCoreApp) {
+  const Graph& g = GetParam().graph;
+  if (g.NumEdges() == 0) return;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  DenseSubgraph coreapp = CoreAppDensest(g, cd);
+  EXPECT_GE(pbks.average_degree, coreapp.average_degree - 1e-9);
+}
+
+TEST_P(DensestSuite, HalfApproximationHolds) {
+  // rho(PBKS-D) >= k_max >= rho* / 2 >= rho(any other method) / 2.
+  const Graph& g = GetParam().graph;
+  if (g.NumEdges() == 0) return;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  EXPECT_GE(pbks.average_degree + 1e-9, static_cast<double>(cd.k_max));
+  DenseSubgraph peel = CharikarPeelingDensest(g);
+  EXPECT_GE(pbks.average_degree + 1e-9, peel.average_degree / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, DensestSuite,
+    ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GreedyPlusPlus, DensityReportedMatchesSubgraph) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    if (tc.graph.NumEdges() == 0) continue;
+    SCOPED_TRACE(tc.name);
+    DenseSubgraph gpp = GreedyPlusPlusDensest(tc.graph, 4);
+    EXPECT_NEAR(gpp.average_degree, InducedAverageDegree(tc.graph, gpp.vertices),
+                1e-9);
+  }
+}
+
+TEST(GreedyPlusPlus, NeverWorseThanSinglePassPeeling) {
+  for (uint64_t seed : testing::SweepSeeds()) {
+    Graph g = ErdosRenyiGnm(250, 1200, seed);
+    DenseSubgraph peel = CharikarPeelingDensest(g);
+    DenseSubgraph gpp = GreedyPlusPlusDensest(g, 6);
+    EXPECT_GE(gpp.average_degree, peel.average_degree - 1e-9) << seed;
+  }
+}
+
+TEST(GreedyPlusPlus, ExactOnPlantedCliquePlusNoise) {
+  // K12 plus a sparse ring: the densest subgraph is the clique.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) b.AddEdge(u, v);
+  }
+  for (VertexId v = 12; v < 60; ++v) b.AddEdge(v, v == 59 ? 12 : v + 1);
+  b.AddEdge(0, 12);
+  Graph g = std::move(b).Build(60);
+  DenseSubgraph gpp = GreedyPlusPlusDensest(g, 8);
+  EXPECT_DOUBLE_EQ(gpp.average_degree, 11.0);
+  EXPECT_EQ(gpp.vertices.size(), 12u);
+}
+
+TEST(Densest, PaperExampleFindsS31) {
+  Graph g = PaperFigure1Graph();
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  EXPECT_EQ(pbks.vertices.size(), 9u);
+  EXPECT_NEAR(pbks.average_degree, 40.0 / 9.0, 1e-12);
+  // CoreApp returns the 4-core (octahedron), average degree exactly 4.
+  DenseSubgraph coreapp = CoreAppDensest(g, cd);
+  EXPECT_EQ(coreapp.vertices.size(), 6u);
+  EXPECT_NEAR(coreapp.average_degree, 4.0, 1e-12);
+}
+
+TEST(MaxClique, KnownCliques) {
+  {
+    Graph g = CompleteGraph(7);
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    EXPECT_EQ(MaxClique(g, cd).size(), 7u);
+  }
+  {
+    Graph g = CycleGraph(8);
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    EXPECT_EQ(MaxClique(g, cd).size(), 2u);
+  }
+  {
+    Graph g = RingOfCliques(4, 6);
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    std::vector<VertexId> mc = MaxClique(g, cd);
+    EXPECT_EQ(mc.size(), 6u);
+    EXPECT_TRUE(IsClique(g, mc));
+  }
+}
+
+TEST(MaxClique, OutputIsAlwaysAClique) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    SCOPED_TRACE(tc.name);
+    if (tc.graph.NumVertices() == 0) continue;
+    CoreDecomposition cd = BzCoreDecomposition(tc.graph);
+    std::vector<VertexId> mc = MaxClique(tc.graph, cd);
+    EXPECT_TRUE(IsClique(tc.graph, mc));
+    EXPECT_GE(mc.size(), 1u);
+  }
+}
+
+TEST(MaxClique, MatchesBruteForceOnSmallRandomGraphs) {
+  for (uint64_t seed : testing::SweepSeeds()) {
+    Graph g = ErdosRenyiGnp(18, 0.45, seed);
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    const size_t got = MaxClique(g, cd).size();
+    // Brute force over all vertex subsets (n <= 18 but prune by popcount).
+    size_t best = 0;
+    const VertexId n = g.NumVertices();
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      const size_t size = static_cast<size_t>(__builtin_popcount(mask));
+      if (size <= best) continue;
+      std::vector<VertexId> subset;
+      for (VertexId v = 0; v < n; ++v) {
+        if (mask & (1u << v)) subset.push_back(v);
+      }
+      if (IsClique(g, subset)) best = size;
+    }
+    EXPECT_EQ(got, best) << "seed=" << seed;
+  }
+}
+
+TEST(MaxClique, ContainedInDensestCoreOnCliqueHeavyGraphs) {
+  // Table IV's "MC ⊆ S*" phenomenon: on a ring of cliques the densest
+  // k-core is one clique, which is exactly where the maximum clique lives.
+  Graph g = RingOfCliques(6, 7);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  std::vector<VertexId> mc = MaxClique(g, cd);
+  std::vector<VertexId> sorted(pbks.vertices);
+  std::sort(sorted.begin(), sorted.end());
+  size_t contained = 0;
+  for (VertexId v : mc) {
+    contained += std::binary_search(sorted.begin(), sorted.end(), v);
+  }
+  EXPECT_EQ(contained, mc.size());
+}
+
+}  // namespace
+}  // namespace hcd

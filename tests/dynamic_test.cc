@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/dynamic.h"
+#include "core/naive.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "hcd/phcd.h"
+#include "hcd/validate.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+void ExpectMatchesRecompute(const DynamicCoreIndex& index) {
+  Graph g = index.ToGraph();
+  CoreDecomposition fresh = BzCoreDecomposition(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(index.Coreness(v), fresh.coreness[v]) << "vertex " << v;
+  }
+  ASSERT_EQ(index.KMax(), fresh.k_max);
+}
+
+TEST(DynamicCore, HandExample) {
+  // Path 0-1-2; closing the triangle lifts everyone to coreness 2.
+  DynamicCoreIndex index(PathGraph(3));
+  EXPECT_EQ(index.Coreness(1), 1u);
+  ASSERT_TRUE(index.InsertEdge(0, 2).ok());
+  EXPECT_EQ(index.Coreness(0), 2u);
+  EXPECT_EQ(index.Coreness(1), 2u);
+  EXPECT_EQ(index.Coreness(2), 2u);
+  ASSERT_TRUE(index.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(index.Coreness(0), 1u);
+  EXPECT_EQ(index.Coreness(1), 1u);
+  EXPECT_EQ(index.Coreness(2), 1u);
+}
+
+TEST(DynamicCore, RejectsBadUpdates) {
+  DynamicCoreIndex index(PathGraph(3));
+  EXPECT_FALSE(index.InsertEdge(0, 0).ok());
+  EXPECT_FALSE(index.InsertEdge(0, 1).ok());  // already present
+  EXPECT_FALSE(index.InsertEdge(0, 99).ok());
+  EXPECT_FALSE(index.RemoveEdge(0, 2).ok());  // absent
+  EXPECT_FALSE(index.RemoveEdge(5, 9).ok());
+}
+
+TEST(DynamicCore, InsertionBuildsCliqueIncrementally) {
+  // Start from an empty graph on 8 vertices; add K8 edge by edge.
+  GraphBuilder b;
+  Graph empty = std::move(b).Build(8);
+  DynamicCoreIndex index(empty);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      ASSERT_TRUE(index.InsertEdge(u, v).ok());
+      ExpectMatchesRecompute(index);
+    }
+  }
+  EXPECT_EQ(index.KMax(), 7u);
+  // Now dismantle it edge by edge.
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      ASSERT_TRUE(index.RemoveEdge(u, v).ok());
+      ExpectMatchesRecompute(index);
+    }
+  }
+  EXPECT_EQ(index.KMax(), 0u);
+}
+
+TEST(DynamicCore, RandomChurnMatchesRecompute) {
+  for (uint64_t seed : testing::SweepSeeds()) {
+    Graph g = ErdosRenyiGnm(120, 400, seed);
+    DynamicCoreIndex index(g);
+    Rng rng(seed * 31 + 1);
+    for (int step = 0; step < 300; ++step) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(120));
+      VertexId v = static_cast<VertexId>(rng.Uniform(120));
+      if (u == v) continue;
+      if (index.HasEdge(u, v)) {
+        ASSERT_TRUE(index.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(index.InsertEdge(u, v).ok());
+      }
+      if (step % 10 == 0) ExpectMatchesRecompute(index);
+    }
+    ExpectMatchesRecompute(index);
+  }
+}
+
+TEST(DynamicCore, ChurnOnStructuredGraphs) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    if (tc.graph.NumVertices() < 3 || tc.graph.NumVertices() > 500) continue;
+    SCOPED_TRACE(tc.name);
+    DynamicCoreIndex index(tc.graph);
+    Rng rng(1234);
+    const VertexId n = tc.graph.NumVertices();
+    for (int step = 0; step < 60; ++step) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(n));
+      VertexId v = static_cast<VertexId>(rng.Uniform(n));
+      if (u == v) continue;
+      if (index.HasEdge(u, v)) {
+        ASSERT_TRUE(index.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(index.InsertEdge(u, v).ok());
+      }
+    }
+    ExpectMatchesRecompute(index);
+  }
+}
+
+TEST(DynamicCore, SingleUpdateChangesCorenessByAtMostOne) {
+  Graph g = BarabasiAlbertVarying(200, 1, 6, 8);
+  DynamicCoreIndex index(g);
+  Rng rng(77);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<uint32_t> before(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) before[v] = index.Coreness(v);
+    VertexId u = static_cast<VertexId>(rng.Uniform(200));
+    VertexId v = static_cast<VertexId>(rng.Uniform(200));
+    if (u == v) continue;
+    if (index.HasEdge(u, v)) {
+      ASSERT_TRUE(index.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(index.InsertEdge(u, v).ok());
+    }
+    for (VertexId w = 0; w < g.NumVertices(); ++w) {
+      int64_t delta = static_cast<int64_t>(index.Coreness(w)) - before[w];
+      EXPECT_LE(std::abs(delta), 1) << "vertex " << w;
+    }
+  }
+}
+
+TEST(DynamicCore, RebuildHcdAfterBatch) {
+  Graph g = ErdosRenyiGnm(300, 900, 17);
+  DynamicCoreIndex index(g);
+  Rng rng(18);
+  for (int step = 0; step < 200; ++step) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(300));
+    VertexId v = static_cast<VertexId>(rng.Uniform(300));
+    if (u == v) continue;
+    if (index.HasEdge(u, v)) {
+      (void)index.RemoveEdge(u, v);
+    } else {
+      (void)index.InsertEdge(u, v);
+    }
+  }
+  Graph updated = index.ToGraph();
+  CoreDecomposition cd = BzCoreDecomposition(updated);
+  HcdForest forest = PhcdBuild(updated, cd);
+  EXPECT_TRUE(ValidateHcd(updated, cd, forest).ok());
+}
+
+}  // namespace
+}  // namespace hcd

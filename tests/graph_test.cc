@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/subgraph.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+TEST(GraphBuilder, NormalizesDuplicatesSelfLoopsAndDirection) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // reverse duplicate
+  b.AddEdge(0, 1);  // exact duplicate
+  b.AddEdge(2, 2);  // self loop
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build(4);
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build(0);
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(Graph, AdjacencySortedAndSymmetric) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    SCOPED_TRACE(tc.name);
+    const Graph& g = tc.graph;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      auto nbrs = g.Neighbors(v);
+      EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+      EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+      for (VertexId u : nbrs) {
+        EXPECT_NE(u, v);
+        EXPECT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(Graph, EdgesMatchesAdjacency) {
+  Graph g = CycleGraph(5);
+  EdgeList edges = g.Edges();
+  EXPECT_EQ(edges.size(), 5u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, DegreeStats) {
+  Graph g = StarGraph(8);
+  EXPECT_EQ(g.MaxDegree(), 7u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0 * 7 / 8);
+}
+
+TEST(Generators, CompleteGraph) {
+  Graph g = CompleteGraph(7);
+  EXPECT_EQ(g.NumEdges(), 21u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 6u);
+}
+
+TEST(Generators, ErdosRenyiGnmExactEdgeCount) {
+  Graph g = ErdosRenyiGnm(200, 1000, 42);
+  EXPECT_EQ(g.NumVertices(), 200u);
+  EXPECT_EQ(g.NumEdges(), 1000u);
+}
+
+TEST(Generators, ErdosRenyiDeterministicInSeed) {
+  Graph a = ErdosRenyiGnm(100, 300, 7);
+  Graph b = ErdosRenyiGnm(100, 300, 7);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = ErdosRenyiGnm(100, 300, 8);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  Graph g = BarabasiAlbert(500, 3, 9);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  // Every non-seed vertex brings exactly 3 edges (no duplicates possible):
+  // the 4-vertex seed clique plus 496 arrivals.
+  EXPECT_EQ(g.NumEdges(), 6u + 496u * 3u);
+  // Preferential attachment should produce a hub well above the minimum.
+  EXPECT_GT(g.MaxDegree(), 20u);
+}
+
+TEST(Generators, BarabasiAlbertVaryingSpreadsDegrees) {
+  Graph g = BarabasiAlbertVarying(2000, 1, 10, 3);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Some arrivals attach once, so minimum degree 1 must occur; the seed
+  // clique and hubs exceed 10.
+  VertexId min_deg = g.NumVertices();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    min_deg = std::min(min_deg, g.Degree(v));
+  }
+  EXPECT_EQ(min_deg, 1u);
+  EXPECT_GT(g.MaxDegree(), 10u);
+}
+
+TEST(Generators, RMatBounds) {
+  Graph g = RMatGraph500(8, 2000, 13);
+  EXPECT_LE(g.NumVertices(), 256u);
+  EXPECT_LE(g.NumEdges(), 2000u);  // dedup may shrink
+  EXPECT_GT(g.NumEdges(), 500u);
+}
+
+TEST(Generators, RingOfCliques) {
+  Graph g = RingOfCliques(4, 5);
+  EXPECT_EQ(g.NumVertices(), 24u);  // 4 cliques of 5 plus 4 bridges
+  EXPECT_EQ(g.NumEdges(), 4u * 10u + 8u);
+  // Bridges have degree 2.
+  for (VertexId b = 20; b < 24; ++b) EXPECT_EQ(g.Degree(b), 2u);
+}
+
+TEST(Generators, PaperFigure1Counts) {
+  Graph g = PaperFigure1Graph();
+  EXPECT_EQ(g.NumVertices(), 16u);
+  EXPECT_EQ(g.NumEdges(), 30u);
+}
+
+TEST(IoText, RoundTrip) {
+  Graph g = ErdosRenyiGnm(60, 150, 3);
+  const std::string path = ::testing::TempDir() + "/graph_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeListText(g, path).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadEdgeListText(path, &loaded).ok());
+  // Text reload compacts ids but preserves structure; compare via sorted
+  // degree sequences and edge counts.
+  EXPECT_EQ(loaded.NumEdges(), g.NumEdges());
+  std::multiset<VertexId> da;
+  std::multiset<VertexId> db;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 0) da.insert(g.Degree(v));
+  }
+  for (VertexId v = 0; v < loaded.NumVertices(); ++v) {
+    db.insert(loaded.Degree(v));
+  }
+  EXPECT_EQ(da, db);
+  std::remove(path.c_str());
+}
+
+TEST(IoText, ParsesCommentsAndSymmetrizes) {
+  const std::string path = ::testing::TempDir() + "/graph_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# snap style comment\n%% matrix market comment\n");
+  std::fprintf(f, "10 20\n20 10\n30 10\n");
+  std::fclose(f);
+  Graph g;
+  ASSERT_TRUE(LoadEdgeListText(path, &g).ok());
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoText, MissingFileFails) {
+  Graph g;
+  Status s = LoadEdgeListText("/nonexistent/nope.txt", &g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(IoText, MalformedLineFails) {
+  const std::string path = ::testing::TempDir() + "/graph_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "1 2\nnot numbers\n");
+  std::fclose(f);
+  Graph g;
+  EXPECT_EQ(LoadEdgeListText(path, &g).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IoBinary, RoundTripExact) {
+  Graph g = BarabasiAlbert(200, 3, 5);
+  const std::string path = ::testing::TempDir() + "/graph_roundtrip.bin";
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded.Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(IoBinary, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/graph_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "definitely not a graph";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Graph g;
+  EXPECT_EQ(LoadBinary(path, &g).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(Subgraph, InduceExtractsEdgesAndMapping) {
+  Graph g = PaperFigure1Graph();
+  // The 4-clique S3.2 lives on vertices 9..12.
+  InducedSubgraph sub = Induce(g, {9, 10, 11, 12});
+  EXPECT_EQ(sub.graph.NumVertices(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 6u);
+  EXPECT_EQ(sub.vertices.size(), 4u);
+}
+
+TEST(Subgraph, CountInducedEdges) {
+  Graph g = CompleteGraph(6);
+  EXPECT_EQ(CountInducedEdges(g, {0, 1, 2}), 3u);
+  EXPECT_EQ(CountInducedEdges(g, {0}), 0u);
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "search/influential.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+/// Independent oracle: recompute the k-constrained subgraph and the
+/// component of the global minimum from scratch at every step.
+std::vector<InfluentialCommunity> OracleCommunities(
+    const Graph& g, const std::vector<double>& weights, uint32_t k) {
+  const VertexId n = g.NumVertices();
+  std::vector<bool> removed(n, false);
+  std::vector<InfluentialCommunity> all;
+  while (true) {
+    // k-core of the remaining graph by repeated stripping.
+    std::vector<bool> alive(n);
+    for (VertexId v = 0; v < n; ++v) alive[v] = !removed[v];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        VertexId d = 0;
+        for (VertexId u : g.Neighbors(v)) d += alive[u];
+        if (d < k) {
+          alive[v] = false;
+          changed = true;
+        }
+      }
+    }
+    // Global minimum-weight alive vertex (ties by id).
+    VertexId best = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && (best == kInvalidVertex || weights[v] < weights[best])) {
+        best = v;
+      }
+    }
+    if (best == kInvalidVertex) break;
+    // Its component.
+    InfluentialCommunity c;
+    c.influence = weights[best];
+    std::vector<VertexId> stack = {best};
+    std::vector<bool> seen(n, false);
+    seen[best] = true;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      c.vertices.push_back(v);
+      for (VertexId u : g.Neighbors(v)) {
+        if (alive[u] && !seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    all.push_back(std::move(c));
+    removed[best] = true;
+  }
+  std::reverse(all.begin(), all.end());
+  return all;
+}
+
+void ExpectSameCommunities(std::vector<InfluentialCommunity> a,
+                           std::vector<InfluentialCommunity> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("community " + std::to_string(i));
+    EXPECT_DOUBLE_EQ(a[i].influence, b[i].influence);
+    std::sort(a[i].vertices.begin(), a[i].vertices.end());
+    std::sort(b[i].vertices.begin(), b[i].vertices.end());
+    EXPECT_EQ(a[i].vertices, b[i].vertices);
+  }
+}
+
+std::vector<double> RandomWeights(VertexId n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.UniformDouble();
+  return w;
+}
+
+TEST(Influential, HandComputedExample) {
+  // Two triangles joined by an edge; weights increasing with id.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 5);
+  Graph g = std::move(b).Build(6);
+  std::vector<double> w = {1, 2, 3, 4, 5, 6};
+
+  auto top = TopInfluentialCommunities(g, w, 2, 10);
+  // Peeling with k=2: min vertex 0 -> whole 2-core (all 6, since vertex 2-3
+  // bridge keeps degrees... bridge endpoints have degree 3); removing 0
+  // cascades 1, 2 away (degree < 2), leaving triangle {3,4,5}; then 3 -> its
+  // triangle; removing it empties.
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].influence, 4.0);  // triangle {3,4,5}
+  EXPECT_EQ(top[0].vertices.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[1].influence, 1.0);  // the whole 2-core
+  EXPECT_EQ(top[1].vertices.size(), 6u);
+}
+
+TEST(Influential, MatchesOracleOnSuite) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    if (tc.graph.NumVertices() == 0 || tc.graph.NumVertices() > 400) continue;
+    SCOPED_TRACE(tc.name);
+    std::vector<double> w = RandomWeights(tc.graph.NumVertices(), 99);
+    for (uint32_t k : {1u, 2u, 3u}) {
+      SCOPED_TRACE("k=" + std::to_string(k));
+      auto oracle = OracleCommunities(tc.graph, w, k);
+      auto got = TopInfluentialCommunities(tc.graph, w, k,
+                                           static_cast<uint32_t>(oracle.size()));
+      ExpectSameCommunities(std::move(got), std::move(oracle));
+    }
+  }
+}
+
+TEST(Influential, TopRIsPrefixOfFullRanking) {
+  Graph g = ErdosRenyiGnm(200, 700, 5);
+  std::vector<double> w = RandomWeights(200, 7);
+  auto all = TopInfluentialCommunities(g, w, 3, 1000000);
+  auto top3 = TopInfluentialCommunities(g, w, 3, 3);
+  ASSERT_LE(top3.size(), 3u);
+  for (size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top3[i].influence, all[i].influence);
+    EXPECT_EQ(top3[i].vertices.size(), all[i].vertices.size());
+  }
+}
+
+TEST(Influential, CommunitiesSatisfyDefinition) {
+  Graph g = BarabasiAlbertVarying(300, 1, 8, 4);
+  std::vector<double> w = RandomWeights(300, 11);
+  const uint32_t k = 4;
+  auto top = TopInfluentialCommunities(g, w, k, 5);
+  double prev = 1e300;
+  for (const auto& c : top) {
+    EXPECT_LE(c.influence, prev);  // descending influence
+    prev = c.influence;
+    // Influence is the minimum member weight.
+    double min_w = 1e300;
+    for (VertexId v : c.vertices) min_w = std::min(min_w, w[v]);
+    EXPECT_DOUBLE_EQ(c.influence, min_w);
+    // Minimum internal degree >= k and connected.
+    InducedSubgraph sub = Induce(g, c.vertices);
+    for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
+      EXPECT_GE(sub.graph.Degree(v), k);
+    }
+  }
+}
+
+TEST(Influential, EmptyWhenKCoreEmpty) {
+  Graph g = PathGraph(10);
+  std::vector<double> w(10, 1.0);
+  EXPECT_TRUE(TopInfluentialCommunities(g, w, 5, 3).empty());
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/local_core_search.h"
+#include "hcd/lower_bound.h"
+#include "hcd/naive_hcd.h"
+#include "parallel/omp_utils.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+TEST(LocalCoreSearch, FindsContainingCore) {
+  Graph g = PaperFigure1Graph();
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  // From an octahedron vertex (coreness 4): the 4-core has 6 vertices.
+  EXPECT_EQ(LocalCoreSearch(g, cd, 0).size(), 6u);
+  // From a 3-shell vertex of S3.1 (coreness 3): S3.1 has 9 vertices.
+  EXPECT_EQ(LocalCoreSearch(g, cd, 6).size(), 9u);
+  // From a 2-shell vertex: the whole graph is the 2-core.
+  EXPECT_EQ(LocalCoreSearch(g, cd, 13).size(), 16u);
+}
+
+class RcSuite : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(RcSuite, RcRecoversAllParents) {
+  const Graph& g = GetParam().graph;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = NaiveHcdBuild(g, cd);
+  std::vector<TreeNodeId> parents = RcComputeParents(g, cd, f);
+  ASSERT_EQ(parents.size(), f.NumNodes());
+  for (TreeNodeId t = 0; t < f.NumNodes(); ++t) {
+    EXPECT_EQ(parents[t], f.Parent(t)) << "node " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, RcSuite, ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(LowerBound, CountsComponents) {
+  // K5 + path(5..9) + 3 isolated vertices = 1 + 1 + 3 components.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  for (VertexId v = 5; v < 9; ++v) b.AddEdge(v, v + 1);
+  Graph g = std::move(b).Build(13);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  EXPECT_EQ(UnionFindLowerBound(g, cd), 5u);
+}
+
+TEST(LowerBound, StableAcrossThreads) {
+  Graph g = ErdosRenyiGnm(500, 900, 77);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  VertexId base = UnionFindLowerBound(g, cd);
+  for (int threads : {1, 2, 4}) {
+    ThreadCountGuard guard(threads);
+    EXPECT_EQ(UnionFindLowerBound(g, cd), base);
+  }
+}
+
+}  // namespace
+}  // namespace hcd

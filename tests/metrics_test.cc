@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "search/metrics.h"
+
+namespace hcd {
+namespace {
+
+TEST(Metrics, TypeClassification) {
+  EXPECT_FALSE(IsTypeB(Metric::kAverageDegree));
+  EXPECT_FALSE(IsTypeB(Metric::kInternalDensity));
+  EXPECT_FALSE(IsTypeB(Metric::kCutRatio));
+  EXPECT_FALSE(IsTypeB(Metric::kConductance));
+  EXPECT_FALSE(IsTypeB(Metric::kModularity));
+  EXPECT_TRUE(IsTypeB(Metric::kClusteringCoefficient));
+}
+
+TEST(Metrics, Names) {
+  EXPECT_STREQ(MetricName(Metric::kAverageDegree), "average-degree");
+  EXPECT_STREQ(MetricName(Metric::kClusteringCoefficient),
+               "clustering-coefficient");
+}
+
+TEST(Metrics, AverageDegree) {
+  // Triangle inside a 10-vertex, 20-edge graph.
+  PrimaryValues pv{.n_s = 3, .edges2 = 6, .boundary = 2};
+  GraphGlobals g{10, 20};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kAverageDegree, pv, g), 2.0);
+}
+
+TEST(Metrics, InternalDensity) {
+  PrimaryValues pv{.n_s = 4, .edges2 = 12};  // 6 edges on 4 vertices: clique
+  GraphGlobals g{10, 20};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity, pv, g), 1.0);
+}
+
+TEST(Metrics, CutRatio) {
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .boundary = 6};
+  GraphGlobals g{10, 20};
+  // 1 - 6 / (4 * 6)
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kCutRatio, pv, g), 0.75);
+}
+
+TEST(Metrics, CutRatioWholeGraphIsOne) {
+  PrimaryValues pv{.n_s = 10, .edges2 = 40, .boundary = 0};
+  GraphGlobals g{10, 20};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kCutRatio, pv, g), 1.0);
+}
+
+TEST(Metrics, Conductance) {
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .boundary = 4};
+  GraphGlobals g{10, 20};
+  // 1 - 4 / (12 + 4)
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kConductance, pv, g), 0.75);
+}
+
+TEST(Metrics, ModularityTwoCommunitySplit) {
+  // Graph: two triangles joined by one edge. m = 7. S = one triangle:
+  // m_in = 3, b = 1, m_out = 3.
+  PrimaryValues pv{.n_s = 3, .edges2 = 6, .boundary = 1};
+  GraphGlobals g{6, 7};
+  const double d_in = 7.0 / 14.0;
+  const double expected = 3.0 / 7.0 - d_in * d_in + 3.0 / 7.0 - d_in * d_in;
+  EXPECT_NEAR(EvaluateMetric(Metric::kModularity, pv, g), expected, 1e-12);
+}
+
+TEST(Metrics, ClusteringCoefficient) {
+  // K4: 4 triangles, 12 wedges -> 3*4/12 = 1.
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .boundary = 0, .triangles = 4,
+                   .triplets = 12};
+  GraphGlobals g{4, 6};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kClusteringCoefficient, pv, g), 1.0);
+}
+
+TEST(Metrics, TypeClassificationOfExtendedMetrics) {
+  EXPECT_FALSE(IsTypeB(Metric::kExpansion));
+  EXPECT_FALSE(IsTypeB(Metric::kSeparability));
+  EXPECT_TRUE(IsTypeB(Metric::kTriangleDensity));
+}
+
+TEST(Metrics, Expansion) {
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .boundary = 4};
+  GraphGlobals g{10, 20};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kExpansion, pv, g), 0.5);
+  PrimaryValues isolated{.n_s = 4, .edges2 = 12, .boundary = 0};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kExpansion, isolated, g), 1.0);
+}
+
+TEST(Metrics, Separability) {
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .boundary = 2};  // 6 in, 2 out
+  GraphGlobals g{10, 20};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kSeparability, pv, g), 0.75);
+}
+
+TEST(Metrics, TriangleDensity) {
+  // K4: 4 triangles out of C(4,3) = 4 triples.
+  PrimaryValues pv{.n_s = 4, .edges2 = 12, .triangles = 4, .triplets = 12};
+  GraphGlobals g{4, 6};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kTriangleDensity, pv, g), 1.0);
+  PrimaryValues pair{.n_s = 2, .edges2 = 2};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kTriangleDensity, pair, g), 0.0);
+}
+
+TEST(Metrics, DegenerateDenominators) {
+  GraphGlobals g{10, 20};
+  PrimaryValues empty;
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kAverageDegree, empty, g), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity, empty, g), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kClusteringCoefficient, empty, g),
+                   0.0);
+  PrimaryValues lone{.n_s = 1};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kConductance, lone, g), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity, lone, g), 0.0);
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/naive_hcd.h"
+#include "parallel/omp_utils.h"
+#include "search/bks.h"
+#include "search/brute.h"
+#include "search/pbks.h"
+#include "search/searcher.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+struct Pipeline {
+  Graph graph;
+  CoreDecomposition cd;
+  HcdForest forest;
+};
+
+Pipeline Build(const Graph& g) {
+  Pipeline p;
+  p.graph = g;
+  p.cd = BzCoreDecomposition(p.graph);
+  p.forest = NaiveHcdBuild(p.graph, p.cd);
+  return p;
+}
+
+void ExpectPrimaryEqual(const std::vector<PrimaryValues>& got,
+                        const std::vector<PrimaryValues>& want, bool type_b) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    if (type_b) {
+      EXPECT_EQ(got[i].triangles, want[i].triangles);
+      EXPECT_EQ(got[i].triplets, want[i].triplets);
+    } else {
+      EXPECT_EQ(got[i].n_s, want[i].n_s);
+      EXPECT_EQ(got[i].edges2, want[i].edges2);
+      EXPECT_EQ(got[i].boundary, want[i].boundary);
+    }
+  }
+}
+
+class PbksSuite : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(PbksSuite, TypeAPrimaryMatchesBruteForce) {
+  Pipeline p = Build(GetParam().graph);
+  const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
+  ExpectPrimaryEqual(PbksTypeAPrimary(p.graph, p.cd, p.forest, pre),
+                     BruteNodePrimaryValues(p.graph, p.forest),
+                     /*type_b=*/false);
+}
+
+TEST_P(PbksSuite, TypeBPrimaryMatchesBruteForce) {
+  Pipeline p = Build(GetParam().graph);
+  const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
+  const auto vr = ComputeVertexRank(p.cd);
+  ExpectPrimaryEqual(PbksTypeBPrimary(p.graph, p.cd, p.forest, vr, pre),
+                     BruteNodePrimaryValues(p.graph, p.forest),
+                     /*type_b=*/true);
+}
+
+TEST_P(PbksSuite, BksPrimaryMatchesBruteForce) {
+  Pipeline p = Build(GetParam().graph);
+  const auto index = BuildBksIndex(p.graph, p.cd);
+  const auto vr = ComputeVertexRank(p.cd);
+  const auto want = BruteNodePrimaryValues(p.graph, p.forest);
+  ExpectPrimaryEqual(BksTypeAPrimary(p.graph, p.cd, p.forest, index, vr), want,
+                     /*type_b=*/false);
+  ExpectPrimaryEqual(BksTypeBPrimary(p.graph, p.cd, p.forest, index, vr), want,
+                     /*type_b=*/true);
+}
+
+TEST_P(PbksSuite, PbksAndBksAgreeOnEveryMetric) {
+  Pipeline p = Build(GetParam().graph);
+  for (Metric metric : kAllMetrics) {
+    SCOPED_TRACE(MetricName(metric));
+    SearchResult pbks = PbksSearch(p.graph, p.cd, p.forest, metric);
+    SearchResult bks = BksSearch(p.graph, p.cd, p.forest, metric);
+    ASSERT_EQ(pbks.scores.size(), bks.scores.size());
+    for (size_t i = 0; i < pbks.scores.size(); ++i) {
+      EXPECT_NEAR(pbks.scores[i], bks.scores[i], 1e-9) << "node " << i;
+    }
+    EXPECT_NEAR(pbks.best_score, bks.best_score, 1e-9);
+  }
+}
+
+TEST_P(PbksSuite, StableAcrossThreadCounts) {
+  Pipeline p = Build(GetParam().graph);
+  SearchResult base_a = PbksSearch(p.graph, p.cd, p.forest,
+                                   Metric::kConductance);
+  SearchResult base_b = PbksSearch(p.graph, p.cd, p.forest,
+                                   Metric::kClusteringCoefficient);
+  for (int threads : {2, 4}) {
+    ThreadCountGuard guard(threads);
+    SearchResult a = PbksSearch(p.graph, p.cd, p.forest, Metric::kConductance);
+    SearchResult b =
+        PbksSearch(p.graph, p.cd, p.forest, Metric::kClusteringCoefficient);
+    EXPECT_EQ(a.scores, base_a.scores);
+    EXPECT_EQ(b.scores, base_b.scores);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, PbksSuite, ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Pbks, PaperExample2BestAverageDegreeIsS31) {
+  // Figure 1 / Example 2: S3.1 has the highest average degree 40/9 ~ 4.44.
+  Pipeline p = Build(PaperFigure1Graph());
+  SearchResult r = PbksSearch(p.graph, p.cd, p.forest, Metric::kAverageDegree);
+  ASSERT_NE(r.best_node, kInvalidNode);
+  EXPECT_EQ(p.forest.Level(r.best_node), 3u);
+  EXPECT_EQ(p.forest.CoreVertices(r.best_node).size(), 9u);
+  EXPECT_NEAR(r.best_score, 40.0 / 9.0, 1e-12);
+}
+
+TEST(Pbks, SearcherCachesAndAgreesWithOneShot) {
+  Pipeline p = Build(BarabasiAlbert(250, 4, 21));
+  SubgraphSearcher searcher(p.graph, p.cd, p.forest);
+  for (Metric metric : kAllMetrics) {
+    SCOPED_TRACE(MetricName(metric));
+    SearchResult cached = searcher.Search(metric);
+    SearchResult oneshot = PbksSearch(p.graph, p.cd, p.forest, metric);
+    EXPECT_EQ(cached.scores, oneshot.scores);
+    EXPECT_EQ(cached.best_node, oneshot.best_node);
+  }
+  // CoreVertices of the best node round-trips through the forest.
+  SearchResult r = searcher.Search(Metric::kAverageDegree);
+  auto core = searcher.CoreVertices(r);
+  EXPECT_EQ(core.size(), p.forest.CoreSize(r.best_node));
+}
+
+TEST(Pbks, WholeGraphScoresMatchDirectComputation) {
+  // A connected graph's lowest node accumulates the entire component;
+  // verify against globally computed values on a clique.
+  Pipeline p = Build(CompleteGraph(8));
+  const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
+  auto vals = PbksTypeAPrimary(p.graph, p.cd, p.forest, pre);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_EQ(vals[0].n_s, 8u);
+  EXPECT_EQ(vals[0].edges2, 2u * 28u);
+  EXPECT_EQ(vals[0].boundary, 0u);
+  const auto vr = ComputeVertexRank(p.cd);
+  auto valsb = PbksTypeBPrimary(p.graph, p.cd, p.forest, vr, pre);
+  EXPECT_EQ(valsb[0].triangles, 56u);  // C(8,3)
+  EXPECT_EQ(valsb[0].triplets, 8u * 21u);  // 8 * C(7,2)
+}
+
+TEST(Preprocess, CountsAreExact) {
+  Pipeline p = Build(PaperFigure1Graph());
+  const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
+  for (VertexId v = 0; v < p.graph.NumVertices(); ++v) {
+    VertexId gt = 0;
+    VertexId eq = 0;
+    for (VertexId u : p.graph.Neighbors(v)) {
+      gt += p.cd.coreness[u] > p.cd.coreness[v];
+      eq += p.cd.coreness[u] == p.cd.coreness[v];
+    }
+    EXPECT_EQ(pre.greater[v], gt);
+    EXPECT_EQ(pre.equal[v], eq);
+    EXPECT_EQ(pre.Less(p.graph, v), p.graph.Degree(v) - gt - eq);
+  }
+}
+
+TEST(Bks, SortedAdjacencyIsCorenessDescending) {
+  Pipeline p = Build(BarabasiAlbert(150, 3, 2));
+  BksIndex index = BuildBksIndex(p.graph, p.cd);
+  for (VertexId v = 0; v < p.graph.NumVertices(); ++v) {
+    auto base = p.graph.AdjOffset(v);
+    for (VertexId j = 0; j + 1 < p.graph.Degree(v); ++j) {
+      EXPECT_GE(p.cd.coreness[index.sorted_adj[base + j]],
+                p.cd.coreness[index.sorted_adj[base + j + 1]]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/local_core_search.h"
+#include "hcd/naive_hcd.h"
+#include "hcd/phcd.h"
+#include "hcd/query.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+TEST(Query, PaperFigure1) {
+  Graph g = PaperFigure1Graph();
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = PhcdBuild(g, cd);
+
+  // Vertex 0 (octahedron): in the 4-core (6 vertices), the 3-core S3.1
+  // (9 vertices) and the whole 2-core.
+  EXPECT_EQ(KCoreContaining(f, 0, 4).size(), 6u);
+  EXPECT_EQ(KCoreContaining(f, 0, 3).size(), 9u);
+  EXPECT_EQ(KCoreContaining(f, 0, 2).size(), 16u);
+  EXPECT_TRUE(KCoreContaining(f, 0, 5).empty());
+
+  // Vertex 9 (4-clique S3.2): its 3-core has 4 vertices.
+  EXPECT_EQ(KCoreContaining(f, 9, 3).size(), 4u);
+  // Vertex 13 (2-shell) is in no 3-core.
+  EXPECT_TRUE(KCoreContaining(f, 13, 3).empty());
+
+  EXPECT_EQ(CorenessOf(f, 0), 4u);
+  EXPECT_EQ(CorenessOf(f, 13), 2u);
+
+  // 0 and 9 share the 2-core but no 3-core.
+  EXPECT_TRUE(InSameKCore(f, 0, 9, 2));
+  EXPECT_FALSE(InSameKCore(f, 0, 9, 3));
+  EXPECT_TRUE(InSameKCore(f, 0, 6, 3));
+}
+
+TEST(Query, MatchesLocalCoreSearchOnSuite) {
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    if (tc.graph.NumVertices() == 0) continue;
+    SCOPED_TRACE(tc.name);
+    const Graph& g = tc.graph;
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    HcdForest f = NaiveHcdBuild(g, cd);
+    // For a sample of vertices, the index answer at k = c(v) must equal the
+    // BFS-based local core search.
+    for (VertexId v = 0; v < g.NumVertices();
+         v += std::max<VertexId>(1, g.NumVertices() / 17)) {
+      std::vector<VertexId> via_index =
+          KCoreContaining(f, v, cd.coreness[v]);
+      std::vector<VertexId> via_bfs = LocalCoreSearch(g, cd, v);
+      std::sort(via_index.begin(), via_index.end());
+      std::sort(via_bfs.begin(), via_bfs.end());
+      EXPECT_EQ(via_index, via_bfs) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Query, AncestorWalkLevels) {
+  Graph g = PlantedHierarchy(OnionSpec(8, 6), 2);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest f = PhcdBuild(g, cd);
+  // A deepest vertex is in every k-core for k = 1..8, each strictly larger.
+  VertexId deep = 0;
+  ASSERT_EQ(cd.coreness[deep], 8u);
+  size_t prev = 0;
+  for (uint32_t k = 8; k >= 1; --k) {
+    auto core = KCoreContaining(f, deep, k);
+    EXPECT_GT(core.size(), prev);
+    prev = core.size();
+  }
+  EXPECT_EQ(prev, g.NumVertices());
+}
+
+}  // namespace
+}  // namespace hcd

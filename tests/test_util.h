@@ -1,0 +1,63 @@
+#ifndef HCD_TESTS_TEST_UTIL_H_
+#define HCD_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace hcd::testing {
+
+/// A named generated graph for parameterized sweeps.
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+/// A diverse set of small-to-medium graphs exercising all structural
+/// regimes: degenerate shapes, random (uniform + skewed), and planted
+/// hierarchies with known HCDs.
+inline std::vector<GraphCase> StandardGraphSuite() {
+  std::vector<GraphCase> cases;
+  cases.push_back({"empty", Graph()});
+  {
+    GraphBuilder b;
+    cases.push_back({"isolated_only", std::move(b).Build(5)});
+  }
+  cases.push_back({"single_edge", PathGraph(2)});
+  cases.push_back({"path16", PathGraph(16)});
+  cases.push_back({"cycle9", CycleGraph(9)});
+  cases.push_back({"star12", StarGraph(12)});
+  cases.push_back({"k6", CompleteGraph(6)});
+  cases.push_back({"paper_fig1", PaperFigure1Graph()});
+  cases.push_back({"ring_of_cliques", RingOfCliques(5, 6)});
+  cases.push_back({"gnm_sparse", ErdosRenyiGnm(300, 500, 1)});
+  cases.push_back({"gnm_dense", ErdosRenyiGnm(120, 2500, 2)});
+  cases.push_back({"gnp", ErdosRenyiGnp(90, 0.12, 3)});
+  cases.push_back({"ba", BarabasiAlbert(400, 4, 4)});
+  cases.push_back({"rmat", RMatGraph500(9, 3000, 5)});
+  cases.push_back({"onion", PlantedHierarchy(OnionSpec(7, 10), 6)});
+  cases.push_back(
+      {"branching", PlantedHierarchy(BranchingSpec(2, 10, 2, 2, 6), 7)});
+  cases.push_back({"forest2", PlantedForest({OnionSpec(4, 6), OnionSpec(6, 5)},
+                                            8)});
+  // Disconnected mixture with isolated vertices: K5 + path + 3 isolated.
+  {
+    GraphBuilder b;
+    for (VertexId u = 0; u < 5; ++u) {
+      for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+    }
+    for (VertexId v = 5; v < 9; ++v) b.AddEdge(v, v + 1);
+    cases.push_back({"mixture", std::move(b).Build(13)});
+  }
+  return cases;
+}
+
+/// Seeds for randomized property sweeps.
+inline std::vector<uint64_t> SweepSeeds() { return {11, 22, 33, 44, 55}; }
+
+}  // namespace hcd::testing
+
+#endif  // HCD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "parallel/omp_utils.h"
+#include "parallel/union_find.h"
+#include "parallel/wf_union_find.h"
+
+namespace hcd {
+namespace {
+
+TEST(UnionFind, BasicMerge) {
+  UnionFind uf(6);
+  EXPECT_FALSE(uf.SameSet(0, 1));
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.SameSet(0, 1));
+  EXPECT_FALSE(uf.SameSet(1, 2));
+  uf.Union(1, 3);
+  EXPECT_TRUE(uf.SameSet(0, 2));
+  EXPECT_FALSE(uf.SameSet(0, 5));
+}
+
+TEST(UnionFind, PivotIsMinIdWithoutRank) {
+  UnionFind uf(10);
+  uf.Union(7, 4);
+  EXPECT_EQ(uf.GetPivot(7), 4u);
+  uf.Union(4, 9);
+  EXPECT_EQ(uf.GetPivot(9), 4u);
+  uf.Union(2, 9);
+  EXPECT_EQ(uf.GetPivot(7), 2u);
+}
+
+TEST(UnionFind, PivotFollowsVertexRank) {
+  // rank[v] reverses the id order: highest id = lowest rank.
+  std::vector<VertexId> rank = {5, 4, 3, 2, 1, 0};
+  UnionFind uf(6, rank.data());
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.GetPivot(0), 1u);
+  uf.Union(1, 5);
+  EXPECT_EQ(uf.GetPivot(0), 5u);
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  uf.Union(0, 1);
+  uf.Union(1, 0);
+  EXPECT_TRUE(uf.SameSet(0, 1));
+  EXPECT_EQ(uf.GetPivot(1), 0u);
+}
+
+TEST(WaitFreeUnionFind, MatchesSequentialOnRandomWorkload) {
+  const VertexId n = 500;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    std::vector<VertexId> rank(n);
+    std::iota(rank.begin(), rank.end(), 0);
+    // Random rank permutation (Fisher-Yates).
+    for (VertexId i = n; i > 1; --i) {
+      std::swap(rank[i - 1], rank[rng.Uniform(i)]);
+    }
+    UnionFind seq(n, rank.data());
+    WaitFreeUnionFind wf(n, rank.data());
+    for (int op = 0; op < 2000; ++op) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(n));
+      VertexId v = static_cast<VertexId>(rng.Uniform(n));
+      seq.Union(u, v);
+      wf.Union(u, v);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(seq.GetPivot(v), wf.GetPivot(v)) << "vertex " << v;
+      EXPECT_EQ(seq.SameSet(v, (v + 1) % n), wf.SameSet(v, (v + 1) % n));
+    }
+  }
+}
+
+TEST(WaitFreeUnionFind, ConcurrentUnionsProduceExactComponentsAndPivots) {
+  const VertexId n = 20000;
+  // Union pairs forming 100 chains of 200 elements each; pivot of chain c
+  // must be its smallest element c*200.
+  std::vector<std::pair<VertexId, VertexId>> ops;
+  for (VertexId c = 0; c < 100; ++c) {
+    for (VertexId i = 0; i + 1 < 200; ++i) {
+      ops.emplace_back(c * 200 + i, c * 200 + i + 1);
+    }
+  }
+  for (int trial = 0; trial < 3; ++trial) {
+    WaitFreeUnionFind wf(n);
+#pragma omp parallel for schedule(dynamic, 16)
+    for (int64_t i = 0; i < static_cast<int64_t>(ops.size()); ++i) {
+      wf.Union(ops[i].first, ops[i].second);
+    }
+    for (VertexId c = 0; c < 100; ++c) {
+      for (VertexId i = 0; i < 200; ++i) {
+        EXPECT_EQ(wf.GetPivot(c * 200 + i), c * 200);
+      }
+      if (c + 1 < 100) {
+        EXPECT_FALSE(wf.SameSet(c * 200, (c + 1) * 200));
+      }
+    }
+  }
+}
+
+TEST(WaitFreeUnionFind, SingletonPivots) {
+  WaitFreeUnionFind wf(5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(wf.Find(v), v);
+    EXPECT_EQ(wf.GetPivot(v), v);
+  }
+}
+
+}  // namespace
+}  // namespace hcd

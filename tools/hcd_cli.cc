@@ -1,0 +1,319 @@
+// Command-line front end for the library: generate graphs, inspect
+// statistics, build hierarchies, and run subgraph search.
+//
+// Usage:
+//   hcd_cli gen <ba|rmat|gnm|onion> <out.{bin,txt}> [args...]
+//   hcd_cli convert <in.txt> <out.bin>
+//   hcd_cli stats <graph>
+//   hcd_cli build <graph> <out.forest> [--algo=phcd|lcps] [--threads=N]
+//   hcd_cli search <graph> <metric> [--threads=N]
+//   hcd_cli export <graph> <out.dot>
+//   hcd_cli truss <graph>
+//   hcd_cli influential <graph> <k> <r> [seed]
+//   hcd_cli bestk <graph> <metric>
+//
+// <graph> is loaded as binary when the file starts with the library magic,
+// else as an edge-list text file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "hcd/export.h"
+#include "hcd/lcps.h"
+#include "hcd/phcd.h"
+#include "hcd/serialize.h"
+#include "hcd/stats.h"
+#include "common/random.h"
+#include "parallel/omp_utils.h"
+#include "search/best_k.h"
+#include "search/influential.h"
+#include "search/searcher.h"
+#include "truss/truss_decomposition.h"
+#include "truss/truss_hierarchy.h"
+
+namespace {
+
+using hcd::Graph;
+using hcd::Status;
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Status LoadGraphAuto(const std::string& path, Graph* graph) {
+  if (HasSuffix(path, ".bin")) return hcd::LoadBinary(path, graph);
+  return hcd::LoadEdgeListText(path, graph);
+}
+
+Status SaveGraphAuto(const Graph& graph, const std::string& path) {
+  if (HasSuffix(path, ".bin")) return hcd::SaveBinary(graph, path);
+  return hcd::SaveEdgeListText(graph, path);
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hcd_cli gen ba <out> <n> <edges-per-vertex> [seed]\n"
+               "  hcd_cli gen rmat <out> <scale> <edges> [seed]\n"
+               "  hcd_cli gen gnm <out> <n> <m> [seed]\n"
+               "  hcd_cli gen onion <out> <k_max> <shell_size>\n"
+               "  hcd_cli convert <in.txt> <out.bin>\n"
+               "  hcd_cli stats <graph>\n"
+               "  hcd_cli build <graph> <out.forest> [--algo=phcd|lcps]"
+               " [--threads=N]\n"
+               "  hcd_cli search <graph> <metric> [--threads=N]\n"
+               "  hcd_cli export <graph> <out.dot>\n"
+               "  hcd_cli truss <graph>\n"
+               "  hcd_cli influential <graph> <k> <r> [seed]\n"
+               "  hcd_cli bestk <graph> <metric>\n");
+  return 2;
+}
+
+/// Parses --algo= / --threads= style flags out of argv tail.
+struct Flags {
+  std::string algo = "phcd";
+  int threads = 0;  // 0 = leave the OpenMP default
+};
+
+Flags ParseFlags(int argc, char** argv, int from) {
+  Flags f;
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      f.algo = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      f.threads = std::atoi(argv[i] + 10);
+    }
+  }
+  return f;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string model = argv[2];
+  const std::string out = argv[3];
+  Graph g;
+  if (model == "ba" && argc >= 6) {
+    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
+    g = hcd::BarabasiAlbert(std::atoi(argv[4]), std::atoi(argv[5]), seed);
+  } else if (model == "rmat" && argc >= 6) {
+    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
+    g = hcd::RMatGraph500(std::atoi(argv[4]), std::atoll(argv[5]), seed);
+  } else if (model == "gnm" && argc >= 6) {
+    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
+    g = hcd::ErdosRenyiGnm(std::atoi(argv[4]), std::atoll(argv[5]), seed);
+  } else if (model == "onion" && argc >= 6) {
+    g = hcd::PlantedHierarchy(
+        hcd::OnionSpec(std::atoi(argv[4]), std::atoi(argv[5])), 1);
+  } else {
+    return Usage();
+  }
+  Status s = SaveGraphAuto(g, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()));
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Graph g;
+  Status s = hcd::LoadEdgeListText(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  s = hcd::SaveBinary(g, argv[3]);
+  if (!s.ok()) return Fail(s);
+  std::printf("converted %s -> %s (n=%u m=%llu)\n", argv[2], argv[3],
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  hcd::Timer timer;
+  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+  std::printf("n         %u\n", g.NumVertices());
+  std::printf("m         %llu\n", static_cast<unsigned long long>(g.NumEdges()));
+  std::printf("d_avg     %.2f\n", g.AverageDegree());
+  std::printf("k_max     %u\n", cd.k_max);
+  std::printf("|T|       %u\n", forest.NumNodes());
+  std::printf("%s", hcd::ForestStatsToString(hcd::ComputeForestStats(forest)).c_str());
+  std::printf("(computed in %.3fs)\n", timer.Seconds());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Flags flags = ParseFlags(argc, argv, 4);
+  if (flags.threads > 0) hcd::SetNumThreads(flags.threads);
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+
+  hcd::Timer timer;
+  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+  const double cd_time = timer.Seconds();
+  timer.Reset();
+  hcd::HcdForest forest = flags.algo == "lcps" ? hcd::LcpsBuild(g, cd)
+                                               : hcd::PhcdBuild(g, cd);
+  const double build_time = timer.Seconds();
+  s = hcd::SaveForest(forest, argv[3]);
+  if (!s.ok()) return Fail(s);
+  std::printf("%s: core decomposition %.3fs, construction %.3fs, %u nodes\n",
+              flags.algo.c_str(), cd_time, build_time, forest.NumNodes());
+  return 0;
+}
+
+int CmdSearch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Flags flags = ParseFlags(argc, argv, 4);
+  if (flags.threads > 0) hcd::SetNumThreads(flags.threads);
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+
+  const std::string name = argv[3];
+  hcd::Metric metric = hcd::Metric::kAverageDegree;
+  bool found = false;
+  for (hcd::Metric m : hcd::kAllMetrics) {
+    if (name == hcd::MetricName(m)) {
+      metric = m;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown metric '%s'; choose from:", name.c_str());
+    for (hcd::Metric m : hcd::kAllMetrics) {
+      std::fprintf(stderr, " %s", hcd::MetricName(m));
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+  hcd::SubgraphSearcher searcher(g, cd, forest);
+  hcd::Timer timer;
+  hcd::SearchResult r = searcher.Search(metric);
+  std::printf("best k-core under %s: k=%u |S|=%llu score=%.6f (%.3fs)\n",
+              hcd::MetricName(metric), forest.Level(r.best_node),
+              static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+              r.best_score, timer.Seconds());
+  return 0;
+}
+
+int CmdExport(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+  std::ofstream out(argv[3]);
+  if (!out) return Fail(Status::IoError(std::string("cannot write ") + argv[3]));
+  out << hcd::ForestToDot(forest);
+  std::printf("wrote %s (%u nodes)\n", argv[3], forest.NumNodes());
+  return 0;
+}
+
+int CmdBestK(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  const std::string name = argv[3];
+  for (hcd::Metric m : hcd::kAllMetrics) {
+    if (name == hcd::MetricName(m)) {
+      hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
+      hcd::Timer timer;
+      hcd::BestKResult r = hcd::FindBestK(g, cd, m);
+      std::printf("best k for the k-core set under %s: k=%u score=%.6f "
+                  "(|K_k|=%llu vertices, %.3fs)\n",
+                  name.c_str(), r.best_k, r.best_score,
+                  static_cast<unsigned long long>(r.per_k[r.best_k].n_s),
+                  timer.Seconds());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown metric '%s'\n", name.c_str());
+  return 2;
+}
+
+int CmdTruss(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  hcd::Timer timer;
+  hcd::EdgeIndexer index = hcd::BuildEdgeIndexer(g);
+  hcd::TrussDecomposition td = hcd::PeelTrussDecomposition(g, index);
+  hcd::TrussForest forest = hcd::BuildTrussHierarchy(g, index, td);
+  hcd::DensestTrussResult best = hcd::DensestTruss(g, index, forest);
+  std::printf("truss k_max  %u\n", td.k_max);
+  std::printf("tree nodes   %u\n", forest.NumNodes());
+  std::printf("densest      k=%u |V|=%zu |E|=%llu avg_deg=%.2f\n", best.level,
+              best.community.vertices.size(),
+              static_cast<unsigned long long>(best.community.num_edges),
+              best.community.AverageDegree());
+  std::printf("(computed in %.3fs)\n", timer.Seconds());
+  return 0;
+}
+
+int CmdInfluential(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Graph g;
+  Status s = LoadGraphAuto(argv[2], &g);
+  if (!s.ok()) return Fail(s);
+  const uint32_t k = std::atoi(argv[3]);
+  const uint32_t r = std::atoi(argv[4]);
+  const uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 1;
+  // Synthetic weights; a real deployment would load per-vertex scores.
+  hcd::Rng rng(seed);
+  std::vector<double> weights(g.NumVertices());
+  for (double& w : weights) w = rng.UniformDouble() * 100.0;
+  auto top = hcd::TopInfluentialCommunities(g, weights, k, r);
+  std::printf("top-%u %u-influential communities (synthetic weights, seed "
+              "%llu):\n",
+              r, k, static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < top.size(); ++i) {
+    std::printf("  #%zu influence=%.4f size=%zu\n", i + 1, top[i].influence,
+                top[i].vertices.size());
+  }
+  if (top.empty()) std::printf("  (empty %u-core)\n", k);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "convert") return CmdConvert(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "search") return CmdSearch(argc, argv);
+  if (cmd == "export") return CmdExport(argc, argv);
+  if (cmd == "truss") return CmdTruss(argc, argv);
+  if (cmd == "influential") return CmdInfluential(argc, argv);
+  if (cmd == "bestk") return CmdBestK(argc, argv);
+  return Usage();
+}
