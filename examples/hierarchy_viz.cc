@@ -1,6 +1,7 @@
 // Graph-visualization application (Section I): exports the HCD of a graph
 // as Graphviz DOT and JSON, the hierarchy rendering used for exploring
-// networks (internet topology, brains, ...).
+// networks (internet topology, brains, ...). Runs the pipeline through the
+// engine so the two exports share one decomposition and one forest.
 //
 // Run: ./build/examples/hierarchy_viz [out.dot [out.json]]
 
@@ -8,23 +9,22 @@
 #include <fstream>
 #include <string>
 
-#include "core/core_decomposition.h"
+#include "engine/engine.h"
 #include "graph/generators.h"
 #include "hcd/export.h"
-#include "hcd/phcd.h"
 
 int main(int argc, char** argv) {
   const std::string dot_path = argc > 1 ? argv[1] : "hcd.dot";
   const std::string json_path = argc > 2 ? argv[2] : "hcd.json";
 
   // A branching planted hierarchy renders a rich, readable tree.
-  hcd::Graph graph =
-      hcd::PlantedHierarchy(hcd::BranchingSpec(3, 12, 3, 2, 8), 12);
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(graph);
-  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  hcd::HcdEngine engine(
+      hcd::PlantedHierarchy(hcd::BranchingSpec(3, 12, 3, 2, 8), 12));
+  const hcd::HcdForest& forest = engine.Forest();
 
-  std::printf("graph: n=%u m=%llu; HCD has %u nodes\n", graph.NumVertices(),
-              static_cast<unsigned long long>(graph.NumEdges()),
+  std::printf("graph: n=%u m=%llu; HCD has %u nodes\n",
+              engine.graph().NumVertices(),
+              static_cast<unsigned long long>(engine.graph().NumEdges()),
               forest.NumNodes());
 
   {

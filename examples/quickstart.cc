@@ -1,5 +1,7 @@
-// Quickstart: build a graph, decompose it, construct the HCD in parallel,
-// and search for the best community under a few metrics.
+// Quickstart: build a graph, run the HCD pipeline through the engine, and
+// search for the best community under a few metrics. The engine computes
+// each stage (decomposition, construction, search preprocessing) exactly
+// once and reports where the time went.
 //
 // Run: ./build/examples/quickstart [edge-list-file]
 // With no argument it uses the paper's Figure 1 running example.
@@ -7,12 +9,10 @@
 #include <cstdio>
 #include <string>
 
-#include "core/core_decomposition.h"
+#include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
-#include "hcd/phcd.h"
-#include "search/searcher.h"
 
 int main(int argc, char** argv) {
   hcd::Graph graph;
@@ -30,26 +30,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.NumEdges()),
               graph.AverageDegree());
 
-  // 1. Core decomposition (parallel PKC).
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(graph);
-  std::printf("core decomposition: k_max=%u\n", cd.k_max);
+  // One engine = one loaded graph serving many queries. Stages are lazy and
+  // memoized: Coreness() runs PKC, Forest() runs PHCD, the first Search()
+  // builds the searcher, and nothing is ever recomputed.
+  hcd::HcdEngine engine(std::move(graph));
 
-  // 2. Hierarchical core decomposition (parallel PHCD).
-  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  std::printf("core decomposition: k_max=%u\n", engine.Coreness().k_max);
+  const hcd::HcdForest& forest = engine.Forest();
   std::printf("HCD: %u tree nodes, %zu roots\n", forest.NumNodes(),
               forest.Roots().size());
 
-  // 3. Subgraph search (PBKS) across several community metrics.
-  hcd::SubgraphSearcher searcher(graph, cd, forest);
   for (hcd::Metric metric :
        {hcd::Metric::kAverageDegree, hcd::Metric::kConductance,
         hcd::Metric::kClusteringCoefficient}) {
-    hcd::SearchResult r = searcher.Search(metric);
+    hcd::SearchResult r = engine.Search(metric);
     if (r.best_node == hcd::kInvalidNode) continue;
     std::printf("best k-core under %-22s: k=%u, |S|=%llu, score=%.4f\n",
                 hcd::MetricName(metric), forest.Level(r.best_node),
                 static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
                 r.best_score);
   }
+
+  std::printf("\nper-stage telemetry:\n");
+  for (const hcd::StageRecord& r : engine.telemetry().records()) {
+    std::printf("  %-18s %8.3f ms\n", r.stage.c_str(), r.seconds * 1e3);
+  }
+  std::printf("peak stage: %s\n", engine.telemetry().PeakStage().c_str());
   return 0;
 }

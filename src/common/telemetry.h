@@ -1,0 +1,105 @@
+#ifndef HCD_COMMON_TELEMETRY_H_
+#define HCD_COMMON_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace hcd {
+
+/// One named counter attached to a pipeline stage (e.g. peeling levels,
+/// union-find shells, tree nodes created).
+struct StageCounter {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One completed pipeline stage: a label, its wall time, and any cheap
+/// counters the stage chose to report.
+struct StageRecord {
+  std::string stage;
+  double seconds = 0.0;
+  std::vector<StageCounter> counters;
+};
+
+/// Receiver for per-stage telemetry. Library entry points take an optional
+/// `TelemetrySink*` defaulted to null; passing null keeps the call free of
+/// any instrumentation cost beyond a pointer test. Stages are reported from
+/// the orchestrating thread (never from inside a parallel region), so sinks
+/// need not be thread-safe.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void RecordStage(const StageRecord& record) = 0;
+};
+
+/// Concrete sink that accumulates stage records in order and can render
+/// them as a machine-readable JSON report (used by `hcd_cli --json`).
+class StageTelemetry : public TelemetrySink {
+ public:
+  void RecordStage(const StageRecord& record) override {
+    records_.push_back(record);
+  }
+
+  const std::vector<StageRecord>& records() const { return records_; }
+
+  /// Sum of all recorded stage times.
+  double TotalSeconds() const;
+
+  /// Label of the longest recorded stage, or "" when empty.
+  const std::string& PeakStage() const;
+
+  /// Number of records whose label equals `stage`.
+  size_t CountStage(const std::string& stage) const;
+
+  /// Total seconds across records whose label equals `stage`.
+  double StageSeconds(const std::string& stage) const;
+
+  /// `{"stages":[{"name":...,"seconds":...,"counters":{...}},...],
+  ///   "total_seconds":...,"peak_stage":...}`.
+  std::string ToJson() const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<StageRecord> records_;
+};
+
+/// RAII stage timer: starts on construction and reports the stage to the
+/// sink on destruction. A null sink makes every operation a no-op, which is
+/// how un-instrumented library calls stay free.
+class ScopedStage {
+ public:
+  ScopedStage(TelemetrySink* sink, std::string stage) : sink_(sink) {
+    if (sink_ != nullptr) record_.stage = std::move(stage);
+  }
+  ~ScopedStage() {
+    if (sink_ == nullptr) return;
+    record_.seconds = timer_.Seconds();
+    sink_->RecordStage(record_);
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  /// Attaches a counter to the stage record (no-op without a sink).
+  void AddCounter(std::string name, uint64_t value) {
+    if (sink_ != nullptr) record_.counters.push_back({std::move(name), value});
+  }
+
+ private:
+  TelemetrySink* sink_;
+  StageRecord record_;
+  Timer timer_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes, backslashes
+/// and control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace hcd
+
+#endif  // HCD_COMMON_TELEMETRY_H_

@@ -18,7 +18,8 @@ std::vector<VertexId> KShellSizes(const CoreDecomposition& cd) {
   return sizes;
 }
 
-CoreDecomposition BzCoreDecomposition(const Graph& graph) {
+CoreDecomposition BzCoreDecomposition(const Graph& graph, TelemetrySink* sink) {
+  ScopedStage stage(sink, "decomposition");
   const VertexId n = graph.NumVertices();
   CoreDecomposition cd;
   cd.coreness.assign(n, 0);
@@ -70,10 +71,12 @@ CoreDecomposition BzCoreDecomposition(const Graph& graph) {
   }
   cd.k_max = n > 0 ? *std::max_element(cd.coreness.begin(), cd.coreness.end())
                    : 0;
+  stage.AddCounter("k_max", cd.k_max);
   return cd;
 }
 
-CoreDecomposition PkcCoreDecomposition(const Graph& graph) {
+CoreDecomposition PkcCoreDecomposition(const Graph& graph, TelemetrySink* sink) {
+  ScopedStage stage(sink, "decomposition");
   const VertexId n = graph.NumVertices();
   CoreDecomposition cd;
   cd.coreness.assign(n, 0);
@@ -125,6 +128,8 @@ CoreDecomposition PkcCoreDecomposition(const Graph& graph) {
     HCD_CHECK(level <= max_deg + 1) << "PKC failed to converge";
   }
   cd.k_max = observed_kmax;
+  stage.AddCounter("levels", level);
+  stage.AddCounter("k_max", cd.k_max);
   return cd;
 }
 

@@ -1,0 +1,137 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/io.h"
+#include "hcd/lcps.h"
+#include "hcd/naive_hcd.h"
+#include "hcd/phcd.h"
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+namespace {
+
+bool HasSuffix(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+const char* EngineAlgoName(EngineAlgo algo) {
+  switch (algo) {
+    case EngineAlgo::kPhcd: return "phcd";
+    case EngineAlgo::kLcps: return "lcps";
+    case EngineAlgo::kNaive: return "naive";
+  }
+  return "?";
+}
+
+bool ParseEngineAlgo(std::string_view name, EngineAlgo* algo) {
+  if (name == "phcd") {
+    *algo = EngineAlgo::kPhcd;
+  } else if (name == "lcps") {
+    *algo = EngineAlgo::kLcps;
+  } else if (name == "naive") {
+    *algo = EngineAlgo::kNaive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+HcdEngine::HcdEngine(Graph graph, EngineOptions options)
+    : owned_graph_(std::move(graph)),
+      graph_(&owned_graph_),
+      options_(options) {}
+
+HcdEngine::HcdEngine(const Graph* graph, EngineOptions options)
+    : graph_(graph), options_(options) {}
+
+Status HcdEngine::Load(const std::string& path, const EngineOptions& options,
+                       std::unique_ptr<HcdEngine>* out) {
+  Timer timer;
+  Graph graph;
+  Status s = HasSuffix(path, ".bin") ? LoadBinary(path, &graph)
+                                     : LoadEdgeListText(path, &graph);
+  if (!s.ok()) return s;
+  const double seconds = timer.Seconds();
+  out->reset(new HcdEngine(std::move(graph), options));
+  if (TelemetrySink* sink = (*out)->sink()) {
+    StageRecord record;
+    record.stage = "load";
+    record.seconds = seconds;
+    record.counters = {{"n", (*out)->graph().NumVertices()},
+                       {"m", (*out)->graph().NumEdges()}};
+    sink->RecordStage(record);
+  }
+  return Status::Ok();
+}
+
+const CoreDecomposition& HcdEngine::Coreness() {
+  if (!cd_) {
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    cd_ = options_.algo == EngineAlgo::kNaive
+              ? BzCoreDecomposition(*graph_, sink())
+              : PkcCoreDecomposition(*graph_, sink());
+  }
+  return *cd_;
+}
+
+const VertexRank& HcdEngine::Rank() {
+  if (!rank_) {
+    const CoreDecomposition& cd = Coreness();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "rank");
+    rank_ = ComputeVertexRank(cd);
+  }
+  return *rank_;
+}
+
+const HcdForest& HcdEngine::Forest() {
+  if (!forest_) {
+    const CoreDecomposition& cd = Coreness();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    switch (options_.algo) {
+      case EngineAlgo::kPhcd:
+        forest_ = PhcdBuild(*graph_, cd, sink());
+        break;
+      case EngineAlgo::kLcps:
+        forest_ = LcpsBuild(*graph_, cd, sink());
+        break;
+      case EngineAlgo::kNaive: {
+        // The oracle builder has no sink parameter; time it here.
+        ScopedStage stage(sink(), "construction");
+        forest_ = NaiveHcdBuild(*graph_, cd);
+        stage.AddCounter("nodes", forest_->NumNodes());
+        break;
+      }
+    }
+  }
+  return *forest_;
+}
+
+SubgraphSearcher& HcdEngine::Searcher() {
+  if (!searcher_) {
+    const CoreDecomposition& cd = Coreness();
+    const HcdForest& forest = Forest();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    searcher_ =
+        std::make_unique<SubgraphSearcher>(*graph_, cd, forest, sink());
+  }
+  return *searcher_;
+}
+
+SearchResult HcdEngine::Search(Metric metric) {
+  SubgraphSearcher& searcher = Searcher();
+  std::optional<ThreadCountGuard> guard;
+  if (options_.threads > 0) guard.emplace(options_.threads);
+  return searcher.Search(metric);
+}
+
+}  // namespace hcd

@@ -1,0 +1,123 @@
+#ifndef HCD_ENGINE_ENGINE_H_
+#define HCD_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/forest.h"
+#include "hcd/vertex_rank.h"
+#include "search/metrics.h"
+#include "search/pbks.h"
+#include "search/searcher.h"
+
+namespace hcd {
+
+/// Which HCD construction algorithm the engine runs.
+enum class EngineAlgo {
+  kPhcd,   ///< parallel PHCD (Algorithm 2); serial specialization at p=1
+  kLcps,   ///< serial LCPS baseline
+  kNaive,  ///< definition-driven per-k BFS oracle (tests / ground truth)
+};
+
+/// "phcd", "lcps" or "naive".
+const char* EngineAlgoName(EngineAlgo algo);
+
+/// Parses an algorithm name; returns false (and leaves `*algo` untouched)
+/// on anything but "phcd" / "lcps" / "naive".
+bool ParseEngineAlgo(std::string_view name, EngineAlgo* algo);
+
+/// Configuration shared by every consumer of the pipeline (CLI, examples,
+/// benchmarks).
+struct EngineOptions {
+  EngineAlgo algo = EngineAlgo::kPhcd;
+  /// OpenMP threads for every engine-run stage; 0 keeps the ambient
+  /// setting. Applied per stage via ThreadCountGuard, so the global OpenMP
+  /// state is never leaked.
+  int threads = 0;
+  /// When false, stages run un-instrumented and telemetry() stays empty.
+  bool telemetry = true;
+};
+
+/// The pipeline object behind every consumer of the library: owns (or
+/// borrows) one graph and computes each derived stage lazily, at most once
+/// — core decomposition, vertex rank, HCD forest, subgraph searcher.
+/// Repeated accessor calls return the same cached object, so e.g. all nine
+/// CLI commands and a long-lived query server pay for each stage once.
+///
+/// Thread counts are applied per stage with ThreadCountGuard (never by
+/// mutating global OpenMP state), and every stage reports wall time and
+/// cheap counters to the engine's StageTelemetry unless telemetry is
+/// disabled. Not thread-safe: one engine serves one orchestrating thread.
+class HcdEngine {
+ public:
+  /// Owning constructor: the engine keeps the graph alive.
+  explicit HcdEngine(Graph graph, EngineOptions options = {});
+
+  /// Borrowing constructor: `*graph` must outlive the engine. Lets
+  /// benchmarks construct many engines over one loaded dataset without
+  /// copying it.
+  explicit HcdEngine(const Graph* graph, EngineOptions options = {});
+
+  HcdEngine(const HcdEngine&) = delete;
+  HcdEngine& operator=(const HcdEngine&) = delete;
+
+  /// Loads a graph (binary when `path` ends in ".bin", else SNAP edge-list
+  /// text) and wraps it in an engine; records a "load" stage (counters:
+  /// n, m).
+  static Status Load(const std::string& path, const EngineOptions& options,
+                     std::unique_ptr<HcdEngine>* out);
+
+  const Graph& graph() const { return *graph_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Per-stage telemetry accumulated so far. Consumers may record their
+  /// own stages (e.g. the CLI records "serialize").
+  StageTelemetry& telemetry() { return telemetry_; }
+  const StageTelemetry& telemetry() const { return telemetry_; }
+
+  /// The engine's sink, or null when options().telemetry is false. Pass to
+  /// library calls made outside the engine to merge their stages into the
+  /// same report.
+  TelemetrySink* sink() {
+    return options_.telemetry ? &telemetry_ : nullptr;
+  }
+
+  /// Core decomposition (stage "decomposition"): PKC for phcd/lcps, the
+  /// serial BZ reference for naive. Computed on first call.
+  const CoreDecomposition& Coreness();
+
+  /// Vertex rank over Coreness() (stage "rank"). Computed on first call.
+  const VertexRank& Rank();
+
+  /// HCD forest built by options().algo (stage "construction"). Computed
+  /// on first call.
+  const HcdForest& Forest();
+
+  /// Memoized searcher over Coreness() and Forest(); constructing it runs
+  /// the PBKS preprocessing (stage "search.preprocess").
+  SubgraphSearcher& Searcher();
+
+  /// Search via the cached searcher (stages "search.primary_a" /
+  /// "search.primary_b" on first use per type, then "search.score").
+  SearchResult Search(Metric metric);
+
+ private:
+  Graph owned_graph_;
+  const Graph* graph_;
+  EngineOptions options_;
+  StageTelemetry telemetry_;
+  std::optional<CoreDecomposition> cd_;
+  std::optional<VertexRank> rank_;
+  std::optional<HcdForest> forest_;
+  std::unique_ptr<SubgraphSearcher> searcher_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_ENGINE_ENGINE_H_

@@ -16,7 +16,9 @@ constexpr uint32_t kNoPriority = 0xFFFFFFFFu;
 
 }  // namespace
 
-HcdForest LcpsBuild(const Graph& graph, const CoreDecomposition& cd) {
+HcdForest LcpsBuild(const Graph& graph, const CoreDecomposition& cd,
+                    TelemetrySink* sink) {
+  ScopedStage stage(sink, "construction");
   const VertexId n = graph.NumVertices();
   HcdForest forest(n);
   if (n == 0) return forest;
@@ -136,6 +138,7 @@ HcdForest LcpsBuild(const Graph& graph, const CoreDecomposition& cd) {
   }
 
   forest.BuildChildren();
+  stage.AddCounter("nodes", forest.NumNodes());
   return forest;
 }
 

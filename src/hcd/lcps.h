@@ -1,6 +1,7 @@
 #ifndef HCD_HCD_LCPS_H_
 #define HCD_HCD_LCPS_H_
 
+#include "common/telemetry.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
 #include "hcd/forest.h"
@@ -26,8 +27,10 @@ namespace hcd {
 /// the paper attributes to LCPS ("multiple dynamic arrays").
 ///
 /// Requires `cd` to be the core decomposition of `graph` (e.g. from
-/// BzCoreDecomposition). O(m) time.
-HcdForest LcpsBuild(const Graph& graph, const CoreDecomposition& cd);
+/// BzCoreDecomposition). O(m) time. With a sink, records a "construction"
+/// stage (counters: nodes).
+HcdForest LcpsBuild(const Graph& graph, const CoreDecomposition& cd,
+                    TelemetrySink* sink = nullptr);
 
 }  // namespace hcd
 

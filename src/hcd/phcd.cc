@@ -204,10 +204,17 @@ HcdForest PhcdBuildParallel(const Graph& graph, const CoreDecomposition& cd) {
 
 }  // namespace
 
-HcdForest PhcdBuild(const Graph& graph, const CoreDecomposition& cd) {
-  if (graph.NumVertices() == 0) return HcdForest(0);
-  if (MaxThreads() == 1) return PhcdBuildSerial(graph, cd);
-  return PhcdBuildParallel(graph, cd);
+HcdForest PhcdBuild(const Graph& graph, const CoreDecomposition& cd,
+                    TelemetrySink* sink) {
+  ScopedStage stage(sink, "construction");
+  HcdForest forest =
+      graph.NumVertices() == 0
+          ? HcdForest(0)
+          : (MaxThreads() == 1 ? PhcdBuildSerial(graph, cd)
+                               : PhcdBuildParallel(graph, cd));
+  stage.AddCounter("shells", cd.k_max + 1);
+  stage.AddCounter("nodes", forest.NumNodes());
+  return forest;
 }
 
 }  // namespace hcd

@@ -1,6 +1,7 @@
 #ifndef HCD_HCD_PHCD_H_
 #define HCD_HCD_PHCD_H_
 
+#include "common/telemetry.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
 #include "hcd/forest.h"
@@ -28,8 +29,10 @@ namespace hcd {
 /// current OpenMP thread count; with one thread this is the paper's
 /// "PHCD (1)" serial configuration.
 ///
-/// Requires `cd` to be the core decomposition of `graph`.
-HcdForest PhcdBuild(const Graph& graph, const CoreDecomposition& cd);
+/// Requires `cd` to be the core decomposition of `graph`. With a sink,
+/// records a "construction" stage (counters: shells, nodes).
+HcdForest PhcdBuild(const Graph& graph, const CoreDecomposition& cd,
+                    TelemetrySink* sink = nullptr);
 
 }  // namespace hcd
 

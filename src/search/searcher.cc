@@ -1,18 +1,30 @@
 #include "search/searcher.h"
 
 namespace hcd {
+namespace {
+
+CorenessNeighborCounts TimedPreprocess(const Graph& graph,
+                                       const CoreDecomposition& cd,
+                                       TelemetrySink* sink) {
+  ScopedStage stage(sink, "search.preprocess");
+  return PreprocessCorenessCounts(graph, cd);
+}
+
+}  // namespace
 
 SubgraphSearcher::SubgraphSearcher(const Graph& graph,
                                    const CoreDecomposition& cd,
-                                   const HcdForest& forest)
+                                   const HcdForest& forest, TelemetrySink* sink)
     : graph_(graph),
       cd_(cd),
       forest_(forest),
-      pre_(PreprocessCorenessCounts(graph, cd)),
+      sink_(sink),
+      pre_(TimedPreprocess(graph, cd, sink)),
       globals_{graph.NumVertices(), graph.NumEdges()} {}
 
 const std::vector<PrimaryValues>& SubgraphSearcher::TypeAPrimary() {
   if (!type_a_) {
+    ScopedStage stage(sink_, "search.primary_a");
     type_a_ = PbksTypeAPrimary(graph_, cd_, forest_, pre_);
   }
   return *type_a_;
@@ -20,6 +32,7 @@ const std::vector<PrimaryValues>& SubgraphSearcher::TypeAPrimary() {
 
 const std::vector<PrimaryValues>& SubgraphSearcher::TypeBPrimary() {
   if (!type_b_) {
+    ScopedStage stage(sink_, "search.primary_b");
     if (!vr_) vr_ = ComputeVertexRank(cd_);
     type_b_ = PbksTypeBPrimary(graph_, cd_, forest_, *vr_, pre_);
   }
@@ -29,7 +42,10 @@ const std::vector<PrimaryValues>& SubgraphSearcher::TypeBPrimary() {
 SearchResult SubgraphSearcher::Search(Metric metric) {
   const std::vector<PrimaryValues>& primary =
       IsTypeB(metric) ? TypeBPrimary() : TypeAPrimary();
-  return ScoreNodes(forest_, metric, primary, globals_);
+  ScopedStage stage(sink_, "search.score");
+  SearchResult result = ScoreNodes(forest_, metric, primary, globals_);
+  stage.AddCounter("nodes", forest_.NumNodes());
+  return result;
 }
 
 std::vector<VertexId> SubgraphSearcher::CoreVertices(

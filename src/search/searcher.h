@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
 #include "hcd/forest.h"
@@ -20,11 +21,14 @@ namespace hcd {
 /// primary-value pass per type plus O(|T|) per metric.
 ///
 /// The referenced graph, decomposition and forest must outlive the
-/// searcher.
+/// searcher; so must the sink, when one is given. With a sink, the
+/// constructor records a "search.preprocess" stage, the primary-value
+/// passes record "search.primary_a" / "search.primary_b" on first use, and
+/// each Search records a "search.score" stage.
 class SubgraphSearcher {
  public:
   SubgraphSearcher(const Graph& graph, const CoreDecomposition& cd,
-                   const HcdForest& forest);
+                   const HcdForest& forest, TelemetrySink* sink = nullptr);
 
   SubgraphSearcher(const SubgraphSearcher&) = delete;
   SubgraphSearcher& operator=(const SubgraphSearcher&) = delete;
@@ -43,6 +47,7 @@ class SubgraphSearcher {
   const Graph& graph_;
   const CoreDecomposition& cd_;
   const HcdForest& forest_;
+  TelemetrySink* sink_;
   CorenessNeighborCounts pre_;
   GraphGlobals globals_;
   std::optional<VertexRank> vr_;

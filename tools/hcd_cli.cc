@@ -4,56 +4,60 @@
 // Usage:
 //   hcd_cli gen <ba|rmat|gnm|onion> <out.{bin,txt}> [args...]
 //   hcd_cli convert <in.txt> <out.bin>
-//   hcd_cli stats <graph>
-//   hcd_cli build <graph> <out.forest> [--algo=phcd|lcps] [--threads=N]
-//   hcd_cli search <graph> <metric> [--threads=N]
-//   hcd_cli export <graph> <out.dot>
-//   hcd_cli truss <graph>
-//   hcd_cli influential <graph> <k> <r> [seed]
-//   hcd_cli bestk <graph> <metric>
+//   hcd_cli stats <graph> [flags]
+//   hcd_cli build <graph> <out.forest> [flags]
+//   hcd_cli search <graph> <metric> [flags]
+//   hcd_cli export <graph> <out.dot> [flags]
+//   hcd_cli truss <graph> [flags]
+//   hcd_cli influential <graph> <k> <r> [seed] [flags]
+//   hcd_cli bestk <graph> <metric> [flags]
 //
-// <graph> is loaded as binary when the file starts with the library magic,
-// else as an edge-list text file.
+// Every command accepts --algo=phcd|lcps|naive, --threads=N and --json;
+// unknown or malformed flags abort with usage (exit 2). All graph-consuming
+// commands run on one shared HcdEngine, so each pipeline stage (load,
+// decomposition, construction, search preprocessing) is computed at most
+// once per invocation; --json dumps the per-stage telemetry report.
+//
+// <graph> is loaded as binary when the path ends in ".bin", else as an
+// edge-list text file.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
-#include "common/timer.h"
-#include "core/core_decomposition.h"
+#include "common/telemetry.h"
+#include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "hcd/export.h"
-#include "hcd/lcps.h"
-#include "hcd/phcd.h"
 #include "hcd/serialize.h"
 #include "hcd/stats.h"
-#include "common/random.h"
 #include "parallel/omp_utils.h"
 #include "search/best_k.h"
 #include "search/influential.h"
-#include "search/searcher.h"
 #include "truss/truss_decomposition.h"
 #include "truss/truss_hierarchy.h"
 
 namespace {
 
+using hcd::EngineOptions;
 using hcd::Graph;
+using hcd::HcdEngine;
+using hcd::ScopedStage;
 using hcd::Status;
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-Status LoadGraphAuto(const std::string& path, Graph* graph) {
-  if (HasSuffix(path, ".bin")) return hcd::LoadBinary(path, graph);
-  return hcd::LoadEdgeListText(path, graph);
 }
 
 Status SaveGraphAuto(const Graph& graph, const std::string& path) {
@@ -67,229 +71,380 @@ int Fail(const Status& s) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  hcd_cli gen ba <out> <n> <edges-per-vertex> [seed]\n"
-               "  hcd_cli gen rmat <out> <scale> <edges> [seed]\n"
-               "  hcd_cli gen gnm <out> <n> <m> [seed]\n"
-               "  hcd_cli gen onion <out> <k_max> <shell_size>\n"
-               "  hcd_cli convert <in.txt> <out.bin>\n"
-               "  hcd_cli stats <graph>\n"
-               "  hcd_cli build <graph> <out.forest> [--algo=phcd|lcps]"
-               " [--threads=N]\n"
-               "  hcd_cli search <graph> <metric> [--threads=N]\n"
-               "  hcd_cli export <graph> <out.dot>\n"
-               "  hcd_cli truss <graph>\n"
-               "  hcd_cli influential <graph> <k> <r> [seed]\n"
-               "  hcd_cli bestk <graph> <metric>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hcd_cli gen ba <out> <n> <edges-per-vertex> [seed]\n"
+      "  hcd_cli gen rmat <out> <scale> <edges> [seed]\n"
+      "  hcd_cli gen gnm <out> <n> <m> [seed]\n"
+      "  hcd_cli gen onion <out> <k_max> <shell_size>\n"
+      "  hcd_cli convert <in.txt> <out.bin>\n"
+      "  hcd_cli stats <graph> [flags]\n"
+      "  hcd_cli build <graph> <out.forest> [flags]\n"
+      "  hcd_cli search <graph> <metric> [flags]\n"
+      "  hcd_cli export <graph> <out.dot> [flags]\n"
+      "  hcd_cli truss <graph> [flags]\n"
+      "  hcd_cli influential <graph> <k> <r> [seed] [flags]\n"
+      "  hcd_cli bestk <graph> <metric> [flags]\n"
+      "flags (any command):\n"
+      "  --algo=phcd|lcps|naive   HCD construction algorithm (default phcd)\n"
+      "  --threads=N              OpenMP threads for every stage (default:\n"
+      "                           ambient setting)\n"
+      "  --json                   print a machine-readable per-stage\n"
+      "                           telemetry report instead of prose\n");
   return 2;
 }
 
-/// Parses --algo= / --threads= style flags out of argv tail.
-struct Flags {
-  std::string algo = "phcd";
-  int threads = 0;  // 0 = leave the OpenMP default
+/// Arguments of one subcommand: positionals in order, plus the shared
+/// engine flags. Unknown or malformed flags are a hard error (exit 2), so
+/// a typo like `--thread=8` can never silently run with defaults.
+struct CliArgs {
+  std::vector<std::string> pos;
+  EngineOptions options;
+  bool json = false;
 };
 
-Flags ParseFlags(int argc, char** argv, int from) {
-  Flags f;
+bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
   for (int i = from; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
-      f.algo = argv[i] + 7;
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      f.threads = std::atoi(argv[i] + 10);
+    const std::string arg = argv[i];
+    if (arg.empty() || arg[0] != '-') {
+      out->pos.push_back(arg);
+      continue;
+    }
+    if (arg == "--json") {
+      out->json = true;
+    } else if (arg.rfind("--algo=", 0) == 0) {
+      const std::string value = arg.substr(7);
+      if (!hcd::ParseEngineAlgo(value, &out->options.algo)) {
+        std::fprintf(stderr,
+                     "error: bad --algo value '%s' (want phcd, lcps or "
+                     "naive)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --threads value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->options.threads = static_cast<int>(threads);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return false;
     }
   }
-  return f;
+  return true;
 }
 
-int CmdGen(int argc, char** argv) {
-  if (argc < 5) return Usage();
-  const std::string model = argv[2];
-  const std::string out = argv[3];
+/// Prints the shared JSON envelope: command, effective options, graph
+/// shape, optional extra fields (`",\"result\":{...}"`), and the engine's
+/// per-stage telemetry.
+void PrintJsonReport(const char* command, const CliArgs& args,
+                     HcdEngine& engine, const std::string& extra = "") {
+  std::printf("{\"command\":\"%s\",\"algo\":\"%s\",\"threads\":%d,"
+              "\"graph\":{\"n\":%u,\"m\":%llu}%s,\"telemetry\":%s}\n",
+              command, hcd::EngineAlgoName(args.options.algo),
+              args.options.threads, engine.graph().NumVertices(),
+              static_cast<unsigned long long>(engine.graph().NumEdges()),
+              extra.c_str(), engine.telemetry().ToJson().c_str());
+}
+
+bool MetricByName(const std::string& name, hcd::Metric* metric) {
+  for (hcd::Metric m : hcd::kAllMetrics) {
+    if (name == hcd::MetricName(m)) {
+      *metric = m;
+      return true;
+    }
+  }
+  std::fprintf(stderr, "unknown metric '%s'; choose from:", name.c_str());
+  for (hcd::Metric m : hcd::kAllMetrics) {
+    std::fprintf(stderr, " %s", hcd::MetricName(m));
+  }
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
+int CmdGen(const CliArgs& args) {
+  if (args.pos.size() < 4) return Usage();
+  const std::string& model = args.pos[0];
+  const std::string& out = args.pos[1];
   Graph g;
-  if (model == "ba" && argc >= 6) {
-    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
-    g = hcd::BarabasiAlbert(std::atoi(argv[4]), std::atoi(argv[5]), seed);
-  } else if (model == "rmat" && argc >= 6) {
-    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
-    g = hcd::RMatGraph500(std::atoi(argv[4]), std::atoll(argv[5]), seed);
-  } else if (model == "gnm" && argc >= 6) {
-    uint64_t seed = argc > 6 ? std::atoll(argv[6]) : 1;
-    g = hcd::ErdosRenyiGnm(std::atoi(argv[4]), std::atoll(argv[5]), seed);
-  } else if (model == "onion" && argc >= 6) {
-    g = hcd::PlantedHierarchy(
-        hcd::OnionSpec(std::atoi(argv[4]), std::atoi(argv[5])), 1);
+  if (model == "ba" && args.pos.size() >= 4) {
+    uint64_t seed = args.pos.size() > 4 ? std::atoll(args.pos[4].c_str()) : 1;
+    g = hcd::BarabasiAlbert(std::atoi(args.pos[2].c_str()),
+                            std::atoi(args.pos[3].c_str()), seed);
+  } else if (model == "rmat" && args.pos.size() >= 4) {
+    uint64_t seed = args.pos.size() > 4 ? std::atoll(args.pos[4].c_str()) : 1;
+    g = hcd::RMatGraph500(std::atoi(args.pos[2].c_str()),
+                          std::atoll(args.pos[3].c_str()), seed);
+  } else if (model == "gnm" && args.pos.size() >= 4) {
+    uint64_t seed = args.pos.size() > 4 ? std::atoll(args.pos[4].c_str()) : 1;
+    g = hcd::ErdosRenyiGnm(std::atoi(args.pos[2].c_str()),
+                           std::atoll(args.pos[3].c_str()), seed);
+  } else if (model == "onion" && args.pos.size() >= 4) {
+    g = hcd::PlantedHierarchy(hcd::OnionSpec(std::atoi(args.pos[2].c_str()),
+                                             std::atoi(args.pos[3].c_str())),
+                              1);
   } else {
     return Usage();
   }
   Status s = SaveGraphAuto(g, out);
   if (!s.ok()) return Fail(s);
-  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), g.NumVertices(),
-              static_cast<unsigned long long>(g.NumEdges()));
+  if (args.json) {
+    std::printf("{\"command\":\"gen\",\"out\":\"%s\",\"graph\":{\"n\":%u,"
+                "\"m\":%llu}}\n",
+                hcd::JsonEscape(out).c_str(), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  } else {
+    std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  }
   return 0;
 }
 
-int CmdConvert(int argc, char** argv) {
-  if (argc < 4) return Usage();
+int CmdConvert(const CliArgs& args) {
+  if (args.pos.size() != 2) return Usage();
   Graph g;
-  Status s = hcd::LoadEdgeListText(argv[2], &g);
+  Status s = hcd::LoadEdgeListText(args.pos[0], &g);
   if (!s.ok()) return Fail(s);
-  s = hcd::SaveBinary(g, argv[3]);
+  s = hcd::SaveBinary(g, args.pos[1]);
   if (!s.ok()) return Fail(s);
-  std::printf("converted %s -> %s (n=%u m=%llu)\n", argv[2], argv[3],
-              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()));
+  if (args.json) {
+    std::printf("{\"command\":\"convert\",\"out\":\"%s\",\"graph\":{\"n\":%u,"
+                "\"m\":%llu}}\n",
+                hcd::JsonEscape(args.pos[1]).c_str(), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  } else {
+    std::printf("converted %s -> %s (n=%u m=%llu)\n", args.pos[0].c_str(),
+                args.pos[1].c_str(), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  }
   return 0;
 }
 
-int CmdStats(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdStats(const CliArgs& args) {
+  if (args.pos.size() != 1) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  hcd::Timer timer;
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+  const hcd::CoreDecomposition& cd = engine->Coreness();
+  const hcd::HcdForest& forest = engine->Forest();
+  if (args.json) {
+    std::string extra = ",\"result\":{\"k_max\":" + std::to_string(cd.k_max) +
+                        ",\"tree_nodes\":" + std::to_string(forest.NumNodes()) +
+                        "}";
+    PrintJsonReport("stats", args, *engine, extra);
+    return 0;
+  }
+  const Graph& g = engine->graph();
   std::printf("n         %u\n", g.NumVertices());
   std::printf("m         %llu\n", static_cast<unsigned long long>(g.NumEdges()));
   std::printf("d_avg     %.2f\n", g.AverageDegree());
   std::printf("k_max     %u\n", cd.k_max);
   std::printf("|T|       %u\n", forest.NumNodes());
   std::printf("%s", hcd::ForestStatsToString(hcd::ComputeForestStats(forest)).c_str());
-  std::printf("(computed in %.3fs)\n", timer.Seconds());
+  std::printf("(computed in %.3fs)\n", engine->telemetry().TotalSeconds());
   return 0;
 }
 
-int CmdBuild(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  Flags flags = ParseFlags(argc, argv, 4);
-  if (flags.threads > 0) hcd::SetNumThreads(flags.threads);
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdBuild(const CliArgs& args) {
+  if (args.pos.size() != 2) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-
-  hcd::Timer timer;
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-  const double cd_time = timer.Seconds();
-  timer.Reset();
-  hcd::HcdForest forest = flags.algo == "lcps" ? hcd::LcpsBuild(g, cd)
-                                               : hcd::PhcdBuild(g, cd);
-  const double build_time = timer.Seconds();
-  s = hcd::SaveForest(forest, argv[3]);
+  const hcd::HcdForest& forest = engine->Forest();
+  {
+    ScopedStage stage(engine->sink(), "serialize");
+    s = hcd::SaveForest(forest, args.pos[1]);
+    stage.AddCounter("nodes", forest.NumNodes());
+  }
   if (!s.ok()) return Fail(s);
+  if (args.json) {
+    PrintJsonReport("build", args, *engine,
+                    ",\"result\":{\"tree_nodes\":" +
+                        std::to_string(forest.NumNodes()) + "}");
+    return 0;
+  }
+  const hcd::StageTelemetry& t = engine->telemetry();
   std::printf("%s: core decomposition %.3fs, construction %.3fs, %u nodes\n",
-              flags.algo.c_str(), cd_time, build_time, forest.NumNodes());
+              hcd::EngineAlgoName(args.options.algo),
+              t.StageSeconds("decomposition"), t.StageSeconds("construction"),
+              forest.NumNodes());
   return 0;
 }
 
-int CmdSearch(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  Flags flags = ParseFlags(argc, argv, 4);
-  if (flags.threads > 0) hcd::SetNumThreads(flags.threads);
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdSearch(const CliArgs& args) {
+  if (args.pos.size() != 2) return Usage();
+  hcd::Metric metric;
+  if (!MetricByName(args.pos[1], &metric)) return 2;
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-
-  const std::string name = argv[3];
-  hcd::Metric metric = hcd::Metric::kAverageDegree;
-  bool found = false;
-  for (hcd::Metric m : hcd::kAllMetrics) {
-    if (name == hcd::MetricName(m)) {
-      metric = m;
-      found = true;
-    }
+  hcd::SearchResult r = engine->Search(metric);
+  const hcd::HcdForest& forest = engine->Forest();
+  if (args.json) {
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"result\":{\"metric\":\"%s\",\"k\":%u,\"size\":%llu,"
+                  "\"score\":%.9g}",
+                  hcd::MetricName(metric), forest.Level(r.best_node),
+                  static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+                  r.best_score);
+    PrintJsonReport("search", args, *engine, extra);
+    return 0;
   }
-  if (!found) {
-    std::fprintf(stderr, "unknown metric '%s'; choose from:", name.c_str());
-    for (hcd::Metric m : hcd::kAllMetrics) {
-      std::fprintf(stderr, " %s", hcd::MetricName(m));
-    }
-    std::fprintf(stderr, "\n");
-    return 2;
-  }
-
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
-  hcd::SubgraphSearcher searcher(g, cd, forest);
-  hcd::Timer timer;
-  hcd::SearchResult r = searcher.Search(metric);
   std::printf("best k-core under %s: k=%u |S|=%llu score=%.6f (%.3fs)\n",
               hcd::MetricName(metric), forest.Level(r.best_node),
               static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
-              r.best_score, timer.Seconds());
+              r.best_score, engine->telemetry().TotalSeconds());
   return 0;
 }
 
-int CmdExport(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdExport(const CliArgs& args) {
+  if (args.pos.size() != 2) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-  hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
-  std::ofstream out(argv[3]);
-  if (!out) return Fail(Status::IoError(std::string("cannot write ") + argv[3]));
-  out << hcd::ForestToDot(forest);
-  std::printf("wrote %s (%u nodes)\n", argv[3], forest.NumNodes());
-  return 0;
-}
-
-int CmdBestK(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
-  if (!s.ok()) return Fail(s);
-  const std::string name = argv[3];
-  for (hcd::Metric m : hcd::kAllMetrics) {
-    if (name == hcd::MetricName(m)) {
-      hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-      hcd::Timer timer;
-      hcd::BestKResult r = hcd::FindBestK(g, cd, m);
-      std::printf("best k for the k-core set under %s: k=%u score=%.6f "
-                  "(|K_k|=%llu vertices, %.3fs)\n",
-                  name.c_str(), r.best_k, r.best_score,
-                  static_cast<unsigned long long>(r.per_k[r.best_k].n_s),
-                  timer.Seconds());
-      return 0;
+  const hcd::HcdForest& forest = engine->Forest();
+  {
+    ScopedStage stage(engine->sink(), "serialize");
+    std::ofstream out(args.pos[1]);
+    if (!out) {
+      return Fail(Status::IoError("cannot write " + args.pos[1]));
     }
+    out << hcd::ForestToDot(forest);
   }
-  std::fprintf(stderr, "unknown metric '%s'\n", name.c_str());
-  return 2;
+  if (args.json) {
+    PrintJsonReport("export", args, *engine,
+                    ",\"result\":{\"tree_nodes\":" +
+                        std::to_string(forest.NumNodes()) + "}");
+    return 0;
+  }
+  std::printf("wrote %s (%u nodes)\n", args.pos[1].c_str(), forest.NumNodes());
+  return 0;
 }
 
-int CmdTruss(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdBestK(const CliArgs& args) {
+  if (args.pos.size() != 2) return Usage();
+  hcd::Metric metric;
+  if (!MetricByName(args.pos[1], &metric)) return 2;
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  hcd::Timer timer;
-  hcd::EdgeIndexer index = hcd::BuildEdgeIndexer(g);
-  hcd::TrussDecomposition td = hcd::PeelTrussDecomposition(g, index);
-  hcd::TrussForest forest = hcd::BuildTrussHierarchy(g, index, td);
-  hcd::DensestTrussResult best = hcd::DensestTruss(g, index, forest);
+  const hcd::CoreDecomposition& cd = engine->Coreness();
+  hcd::BestKResult r;
+  {
+    std::optional<hcd::ThreadCountGuard> guard;
+    if (args.options.threads > 0) guard.emplace(args.options.threads);
+    ScopedStage stage(engine->sink(), "bestk");
+    r = hcd::FindBestK(engine->graph(), cd, metric);
+  }
+  if (args.json) {
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"result\":{\"metric\":\"%s\",\"best_k\":%u,"
+                  "\"size\":%llu,\"score\":%.9g}",
+                  hcd::MetricName(metric), r.best_k,
+                  static_cast<unsigned long long>(r.per_k[r.best_k].n_s),
+                  r.best_score);
+    PrintJsonReport("bestk", args, *engine, extra);
+    return 0;
+  }
+  std::printf("best k for the k-core set under %s: k=%u score=%.6f "
+              "(|K_k|=%llu vertices, %.3fs)\n",
+              args.pos[1].c_str(), r.best_k, r.best_score,
+              static_cast<unsigned long long>(r.per_k[r.best_k].n_s),
+              engine->telemetry().StageSeconds("bestk"));
+  return 0;
+}
+
+int CmdTruss(const CliArgs& args) {
+  if (args.pos.size() != 1) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
+  if (!s.ok()) return Fail(s);
+  const Graph& g = engine->graph();
+  std::optional<hcd::ThreadCountGuard> guard;
+  if (args.options.threads > 0) guard.emplace(args.options.threads);
+  hcd::EdgeIndexer index;
+  hcd::TrussDecomposition td;
+  hcd::TrussForest forest;
+  hcd::DensestTrussResult best;
+  {
+    ScopedStage stage(engine->sink(), "truss.decomposition");
+    index = hcd::BuildEdgeIndexer(g);
+    td = hcd::PeelTrussDecomposition(g, index);
+    stage.AddCounter("k_max", td.k_max);
+  }
+  {
+    ScopedStage stage(engine->sink(), "truss.hierarchy");
+    forest = hcd::BuildTrussHierarchy(g, index, td);
+    stage.AddCounter("nodes", forest.NumNodes());
+  }
+  {
+    ScopedStage stage(engine->sink(), "truss.densest");
+    best = hcd::DensestTruss(g, index, forest);
+  }
+  if (args.json) {
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"result\":{\"k_max\":%u,\"tree_nodes\":%u,"
+                  "\"densest_k\":%u,\"densest_size\":%zu}",
+                  td.k_max, forest.NumNodes(), best.level,
+                  best.community.vertices.size());
+    PrintJsonReport("truss", args, *engine, extra);
+    return 0;
+  }
   std::printf("truss k_max  %u\n", td.k_max);
   std::printf("tree nodes   %u\n", forest.NumNodes());
   std::printf("densest      k=%u |V|=%zu |E|=%llu avg_deg=%.2f\n", best.level,
               best.community.vertices.size(),
               static_cast<unsigned long long>(best.community.num_edges),
               best.community.AverageDegree());
-  std::printf("(computed in %.3fs)\n", timer.Seconds());
+  std::printf("(computed in %.3fs)\n", engine->telemetry().TotalSeconds());
   return 0;
 }
 
-int CmdInfluential(int argc, char** argv) {
-  if (argc < 5) return Usage();
-  Graph g;
-  Status s = LoadGraphAuto(argv[2], &g);
+int CmdInfluential(const CliArgs& args) {
+  if (args.pos.size() < 3) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  const uint32_t k = std::atoi(argv[3]);
-  const uint32_t r = std::atoi(argv[4]);
-  const uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 1;
+  const Graph& g = engine->graph();
+  const uint32_t k = std::atoi(args.pos[1].c_str());
+  const uint32_t r = std::atoi(args.pos[2].c_str());
+  const uint64_t seed =
+      args.pos.size() > 3 ? std::atoll(args.pos[3].c_str()) : 1;
   // Synthetic weights; a real deployment would load per-vertex scores.
   hcd::Rng rng(seed);
   std::vector<double> weights(g.NumVertices());
   for (double& w : weights) w = rng.UniformDouble() * 100.0;
-  auto top = hcd::TopInfluentialCommunities(g, weights, k, r);
+  std::vector<hcd::InfluentialCommunity> top;
+  {
+    std::optional<hcd::ThreadCountGuard> guard;
+    if (args.options.threads > 0) guard.emplace(args.options.threads);
+    ScopedStage stage(engine->sink(), "influential");
+    top = hcd::TopInfluentialCommunities(g, weights, k, r);
+  }
+  if (args.json) {
+    std::string extra = ",\"result\":{\"communities\":[";
+    for (size_t i = 0; i < top.size(); ++i) {
+      if (i > 0) extra += ',';
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "{\"influence\":%.9g,\"size\":%zu}",
+                    top[i].influence, top[i].vertices.size());
+      extra += buf;
+    }
+    extra += "]}";
+    PrintJsonReport("influential", args, *engine, extra);
+    return 0;
+  }
   std::printf("top-%u %u-influential communities (synthetic weights, seed "
               "%llu):\n",
               r, k, static_cast<unsigned long long>(seed));
@@ -306,14 +461,16 @@ int CmdInfluential(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
-  if (cmd == "gen") return CmdGen(argc, argv);
-  if (cmd == "convert") return CmdConvert(argc, argv);
-  if (cmd == "stats") return CmdStats(argc, argv);
-  if (cmd == "build") return CmdBuild(argc, argv);
-  if (cmd == "search") return CmdSearch(argc, argv);
-  if (cmd == "export") return CmdExport(argc, argv);
-  if (cmd == "truss") return CmdTruss(argc, argv);
-  if (cmd == "influential") return CmdInfluential(argc, argv);
-  if (cmd == "bestk") return CmdBestK(argc, argv);
+  CliArgs args;
+  if (!ParseCliArgs(argc, argv, 2, &args)) return Usage();
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "convert") return CmdConvert(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "search") return CmdSearch(args);
+  if (cmd == "export") return CmdExport(args);
+  if (cmd == "truss") return CmdTruss(args);
+  if (cmd == "influential") return CmdInfluential(args);
+  if (cmd == "bestk") return CmdBestK(args);
   return Usage();
 }
