@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "common/timer.h"
-#include "graph/io.h"
+#include "graph/ingest.h"
 #include "hcd/lcps.h"
 #include "hcd/naive_hcd.h"
 #include "hcd/phcd.h"
@@ -53,17 +53,31 @@ Status HcdEngine::Load(const std::string& path, const EngineOptions& options,
                        std::unique_ptr<HcdEngine>* out) {
   Timer timer;
   Graph graph;
-  Status s = HasSuffix(path, ".bin") ? LoadBinary(path, &graph)
-                                     : LoadEdgeListText(path, &graph);
+  // Ingest sub-stages land in a staging sink (the engine does not exist
+  // yet) and are replayed into the engine's telemetry after construction.
+  StageTelemetry ingest_stages;
+  IngestOptions ingest_options;
+  ingest_options.io_threads =
+      options.io_threads > 0 ? options.io_threads : options.threads;
+  ingest_options.sink = options.telemetry ? &ingest_stages : nullptr;
+  IngestStats ingest_stats;
+  Status s = HasSuffix(path, ".bin")
+                 ? IngestBinary(path, ingest_options, &graph, &ingest_stats)
+                 : IngestEdgeListText(path, ingest_options, &graph,
+                                      &ingest_stats);
   if (!s.ok()) return s;
   const double seconds = timer.Seconds();
   out->reset(new HcdEngine(std::move(graph), options));
   if (TelemetrySink* sink = (*out)->sink()) {
+    for (const StageRecord& r : ingest_stages.records()) sink->RecordStage(r);
     StageRecord record;
     record.stage = "load";
     record.seconds = seconds;
     record.counters = {{"n", (*out)->graph().NumVertices()},
-                       {"m", (*out)->graph().NumEdges()}};
+                       {"m", (*out)->graph().NumEdges()},
+                       {"bytes", ingest_stats.bytes},
+                       {"edges_dropped", ingest_stats.self_loops_dropped +
+                                             ingest_stats.duplicates_dropped}};
     sink->RecordStage(record);
   }
   return Status::Ok();

@@ -40,6 +40,10 @@ struct EngineOptions {
   /// setting. Applied per stage via ThreadCountGuard, so the global OpenMP
   /// state is never leaked.
   int threads = 0;
+  /// OpenMP threads for graph ingest (Load's parallel read/parse/build);
+  /// 0 falls back to `threads`. Lets I/O-bound loading use a different
+  /// width than the compute stages.
+  int io_threads = 0;
   /// When false, stages run un-instrumented and telemetry() stays empty.
   bool telemetry = true;
 };
@@ -68,8 +72,10 @@ class HcdEngine {
   HcdEngine& operator=(const HcdEngine&) = delete;
 
   /// Loads a graph (binary when `path` ends in ".bin", else SNAP edge-list
-  /// text) and wraps it in an engine; records a "load" stage (counters:
-  /// n, m).
+  /// text) through the parallel validated ingest layer and wraps it in an
+  /// engine. Records the ingest sub-stages ("load.read", "load.parse",
+  /// "load.remap", "load.build" / "load.validate") followed by an
+  /// aggregate "load" stage (counters: n, m, bytes, edges_dropped).
   static Status Load(const std::string& path, const EngineOptions& options,
                      std::unique_ptr<HcdEngine>* out);
 

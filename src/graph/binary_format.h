@@ -1,0 +1,29 @@
+#ifndef HCD_GRAPH_BINARY_FORMAT_H_
+#define HCD_GRAPH_BINARY_FORMAT_H_
+
+#include <cstdint>
+
+namespace hcd::internal {
+
+/// On-disk CSR snapshot layout (native endianness), shared by SaveBinary
+/// (io.cc) and the validated loader (ingest.cc):
+///
+///   uint64 magic   ("HCDGRJP1")
+///   uint32 version (1)
+///   uint64 n        — number of vertices
+///   uint64 adj_size — number of adjacency entries (2m, even)
+///   uint64 offsets[n + 1]  — offsets[0] == 0, monotone, back() == adj_size
+///   uint32 adj[adj_size]   — per-vertex slices strictly ascending, < n,
+///                            never the owning vertex (no self-loops)
+///
+/// Total file size is therefore exactly
+///   kHeaderBytes + (n + 1) * 8 + adj_size * 4,
+/// which the loader checks against the real file size before allocating
+/// anything, so a corrupt header can never trigger a multi-GB allocation.
+inline constexpr uint64_t kBinaryMagic = 0x48434447524a5031ULL;  // "HCDGRJP1"
+inline constexpr uint32_t kBinaryVersion = 1;
+inline constexpr uint64_t kBinaryHeaderBytes = 8 + 4 + 8 + 8;
+
+}  // namespace hcd::internal
+
+#endif  // HCD_GRAPH_BINARY_FORMAT_H_

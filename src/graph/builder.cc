@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "common/check.h"
+#include "parallel/omp_utils.h"
+#include "parallel/primitives.h"
 
 namespace hcd {
+namespace {
+
+// Block size for the deterministic deduplicating scatter: big enough that
+// per-block bookkeeping vanishes, small enough to load-balance.
+constexpr size_t kScatterBlock = size_t{1} << 16;
+
+constexpr EdgeIndex kUnsetOffset = ~EdgeIndex{0};
+
+}  // namespace
 
 VertexId GraphBuilder::MinNumVertices() const {
   VertexId max_seen = 0;
@@ -17,31 +28,78 @@ VertexId GraphBuilder::MinNumVertices() const {
   return any ? max_seen + 1 : 0;
 }
 
-Graph GraphBuilder::Build(VertexId num_vertices) && {
+Graph GraphBuilder::Build(VertexId num_vertices, BuildStats* stats) && {
   HCD_CHECK_GE(num_vertices, MinNumVertices());
 
-  // Canonicalize to (min, max), sort, dedup.
-  for (auto& [u, v] : edges_) {
+  // Canonicalize to (min, max); drop self-loops. Bulk callers
+  // (AddEdgesUnfiltered) bypass AddEdge's filter, so Build must enforce
+  // the Graph invariant itself.
+  const size_t m_in = edges_.size();
+  ParallelFor(size_t{0}, m_in, [this](size_t i) {
+    auto& [u, v] = edges_[i];
     if (u > v) std::swap(u, v);
-  }
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  });
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.first == e.second; }),
+               edges_.end());
+  const size_t m = edges_.size();
+  if (stats != nullptr) stats->self_loops_dropped = m_in - m;
 
-  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1, 0);
-  for (const auto& [u, v] : edges_) {
-    ++offsets[u + 1];
-    ++offsets[v + 1];
-  }
-  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  // Both orientations of every surviving edge, sorted. The sorted directed
+  // list is unique regardless of thread count, so everything downstream is
+  // deterministic.
+  std::vector<Edge> dir(2 * m);
+  ParallelFor(size_t{0}, m, [this, m, &dir](size_t i) {
+    dir[i] = edges_[i];
+    dir[m + i] = {edges_[i].second, edges_[i].first};
+  });
+  edges_.clear();
+  edges_.shrink_to_fit();
+  ParallelSort(dir);
 
-  // Filling in sorted (u, v) order keeps every adjacency list sorted: a
-  // vertex first receives its smaller neighbors (as second endpoints, in
-  // increasing order) and then its larger neighbors (as first endpoints).
-  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
-  std::vector<VertexId> adj(edges_.size() * 2);
-  for (const auto& [u, v] : edges_) {
-    adj[cursor[u]++] = v;
-    adj[cursor[v]++] = u;
+  // Deduplicating scatter: keep the first entry of each run. Per-block
+  // kept-counts -> exclusive scan -> per-block writes give every surviving
+  // entry a position independent of the thread count.
+  const size_t total_dir = dir.size();
+  const size_t num_blocks = (total_dir + kScatterBlock - 1) / kScatterBlock;
+  std::vector<EdgeIndex> block_kept(num_blocks + 1, 0);
+  ParallelFor(size_t{0}, num_blocks, [&](size_t b) {
+    const size_t begin = b * kScatterBlock;
+    const size_t end = std::min(total_dir, begin + kScatterBlock);
+    EdgeIndex kept = 0;
+    for (size_t i = begin; i < end; ++i) {
+      kept += (i == 0 || dir[i] != dir[i - 1]) ? 1 : 0;
+    }
+    block_kept[b + 1] = kept;
+  });
+  for (size_t b = 0; b < num_blocks; ++b) block_kept[b + 1] += block_kept[b];
+  const EdgeIndex total_kept = num_blocks == 0 ? 0 : block_kept[num_blocks];
+  if (stats != nullptr) {
+    stats->duplicates_dropped = (total_dir - total_kept) / 2;
+  }
+
+  std::vector<VertexId> adj(total_kept);
+  std::vector<EdgeIndex> starts(num_vertices, kUnsetOffset);
+  ParallelFor(size_t{0}, num_blocks, [&](size_t b) {
+    const size_t begin = b * kScatterBlock;
+    const size_t end = std::min(total_dir, begin + kScatterBlock);
+    EdgeIndex pos = block_kept[b];
+    for (size_t i = begin; i < end; ++i) {
+      if (i != 0 && dir[i] == dir[i - 1]) continue;
+      adj[pos] = dir[i].second;
+      if (i == 0 || dir[i].first != dir[i - 1].first) {
+        starts[dir[i].first] = pos;
+      }
+      ++pos;
+    }
+  });
+
+  // starts[u] is set exactly at u's first surviving entry; a backward fill
+  // gives isolated vertices their successor's offset.
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1);
+  offsets[num_vertices] = total_kept;
+  for (VertexId v = num_vertices; v-- > 0;) {
+    offsets[v] = starts[v] == kUnsetOffset ? offsets[v + 1] : starts[v];
   }
   return Graph(std::move(offsets), std::move(adj));
 }

@@ -8,10 +8,21 @@
 
 namespace hcd {
 
+/// Counters describing what Build normalized away; filled when a caller
+/// passes a stats pointer (the ingest telemetry reports them).
+struct BuildStats {
+  uint64_t self_loops_dropped = 0;
+  uint64_t duplicates_dropped = 0;
+};
+
 /// Accumulates edges and produces a normalized simple undirected Graph:
 /// self-loops dropped, parallel edges (in either direction) deduplicated,
 /// adjacency symmetrized and sorted. The paper symmetrizes all directed
 /// inputs the same way (Section V-A).
+///
+/// Build runs in parallel over the ambient OpenMP thread count but its
+/// output is identical for every thread count (canonicalize -> parallel
+/// sort -> deduplicating scatter, all order-independent).
 ///
 ///   GraphBuilder b;
 ///   b.AddEdge(0, 1);
@@ -36,13 +47,30 @@ class GraphBuilder {
     for (const auto& [u, v] : edges) AddEdge(u, v);
   }
 
+  /// Appends `edges` wholesale without per-edge filtering — the bulk path
+  /// used by the parallel ingest layer. Self-loops and duplicates are
+  /// still dropped by Build, which also counts them into BuildStats.
+  /// Moves the vector when the builder is empty.
+  void AddEdgesUnfiltered(EdgeList&& edges) {
+    if (edges_.empty()) {
+      edges_ = std::move(edges);
+    } else {
+      edges_.insert(edges_.end(), edges.begin(), edges.end());
+    }
+  }
+
   /// Largest endpoint seen so far plus one, or 0 when no edges were added.
   VertexId MinNumVertices() const;
 
   /// Builds the graph over vertices 0..num_vertices-1. `num_vertices` must
   /// be at least MinNumVertices(); pass a larger value to include isolated
-  /// vertices. Consumes the builder.
-  Graph Build(VertexId num_vertices) &&;
+  /// vertices. Consumes the builder. When `stats` is non-null it receives
+  /// the dropped self-loop / duplicate counts.
+  Graph Build(VertexId num_vertices, BuildStats* stats) &&;
+
+  Graph Build(VertexId num_vertices) && {
+    return std::move(*this).Build(num_vertices, nullptr);
+  }
 
   /// Builds with num_vertices = MinNumVertices().
   Graph Build() && { return std::move(*this).Build(MinNumVertices()); }

@@ -3,16 +3,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "graph/builder.h"
+#include "graph/binary_format.h"
+#include "graph/ingest.h"
 
 namespace hcd {
 namespace {
-
-constexpr uint64_t kBinaryMagic = 0x48434447524a5031ULL;  // "HCDGRJP1"
-constexpr uint32_t kBinaryVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -21,51 +18,41 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Finishes a file opened for writing: flush and close are checked
+/// explicitly so a full disk surfaces as IoError instead of an Ok status
+/// over a truncated file. `wrote_ok` carries the accumulated result of the
+/// write calls themselves.
+Status FinishWrite(FilePtr f, const std::string& path, bool wrote_ok) {
+  std::FILE* raw = f.release();
+  const bool flushed = std::fflush(raw) == 0;
+  const bool closed = std::fclose(raw) == 0;
+  if (!wrote_ok || !flushed || !closed) {
+    return Status::IoError("write failed or short write to " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status LoadEdgeListText(const std::string& path, Graph* graph) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-
-  EdgeList edges;
-  std::unordered_map<uint64_t, VertexId> remap;
-  auto intern = [&remap](uint64_t raw) {
-    auto [it, inserted] =
-        remap.emplace(raw, static_cast<VertexId>(remap.size()));
-    (void)inserted;
-    return it->second;
-  };
-
-  char line[512];
-  size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    ++line_no;
-    const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
-    uint64_t raw_u = 0;
-    uint64_t raw_v = 0;
-    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &raw_u, &raw_v) != 2) {
-      return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                ": expected 'u v'");
-    }
-    edges.emplace_back(intern(raw_u), intern(raw_v));
-  }
-  *graph = GraphFromEdges(edges, static_cast<VertexId>(remap.size()));
-  return Status::Ok();
+  return IngestEdgeListText(path, IngestOptions{}, graph);
 }
 
 Status SaveEdgeListText(const Graph& graph, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "w"));
   if (f == nullptr) return Status::IoError("cannot open " + path);
-  std::fprintf(f.get(), "# undirected simple graph: n=%u m=%" PRIu64 "\n",
-               graph.NumVertices(), graph.NumEdges());
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+  bool ok =
+      std::fprintf(f.get(), "# undirected simple graph: n=%u m=%" PRIu64 "\n",
+                   graph.NumVertices(), graph.NumEdges()) >= 0;
+  for (VertexId v = 0; ok && v < graph.NumVertices(); ++v) {
     for (VertexId u : graph.Neighbors(v)) {
-      if (v < u) std::fprintf(f.get(), "%u %u\n", v, u);
+      if (v < u && std::fprintf(f.get(), "%u %u\n", v, u) < 0) {
+        ok = false;
+        break;
+      }
     }
   }
-  return Status::Ok();
+  return FinishWrite(std::move(f), path, ok);
 }
 
 Status SaveBinary(const Graph& graph, const std::string& path) {
@@ -74,8 +61,10 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
 
   const uint64_t n = graph.NumVertices();
   const uint64_t adj_size = graph.AdjArray().size();
-  bool ok = std::fwrite(&kBinaryMagic, sizeof(kBinaryMagic), 1, f.get()) == 1;
-  ok = ok && std::fwrite(&kBinaryVersion, sizeof(kBinaryVersion), 1, f.get()) == 1;
+  bool ok = std::fwrite(&internal::kBinaryMagic, sizeof(internal::kBinaryMagic),
+                        1, f.get()) == 1;
+  ok = ok && std::fwrite(&internal::kBinaryVersion,
+                         sizeof(internal::kBinaryVersion), 1, f.get()) == 1;
   ok = ok && std::fwrite(&n, sizeof(n), 1, f.get()) == 1;
   ok = ok && std::fwrite(&adj_size, sizeof(adj_size), 1, f.get()) == 1;
   std::vector<EdgeIndex> offsets(n + 1);
@@ -86,41 +75,11 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
   ok = ok && (adj_size == 0 ||
               std::fwrite(graph.AdjArray().data(), sizeof(VertexId), adj_size,
                           f.get()) == adj_size);
-  if (!ok) return Status::IoError("short write to " + path);
-  return Status::Ok();
+  return FinishWrite(std::move(f), path, ok);
 }
 
 Status LoadBinary(const std::string& path, Graph* graph) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-
-  uint64_t magic = 0;
-  uint32_t version = 0;
-  uint64_t n = 0;
-  uint64_t adj_size = 0;
-  bool ok = std::fread(&magic, sizeof(magic), 1, f.get()) == 1;
-  ok = ok && std::fread(&version, sizeof(version), 1, f.get()) == 1;
-  ok = ok && std::fread(&n, sizeof(n), 1, f.get()) == 1;
-  ok = ok && std::fread(&adj_size, sizeof(adj_size), 1, f.get()) == 1;
-  if (!ok) return Status::Corruption(path + ": truncated header");
-  if (magic != kBinaryMagic) return Status::Corruption(path + ": bad magic");
-  if (version != kBinaryVersion) {
-    return Status::Corruption(path + ": unsupported version " +
-                              std::to_string(version));
-  }
-
-  std::vector<EdgeIndex> offsets(n + 1);
-  std::vector<VertexId> adj(adj_size);
-  ok = std::fread(offsets.data(), sizeof(EdgeIndex), offsets.size(), f.get()) ==
-       offsets.size();
-  ok = ok && (adj_size == 0 || std::fread(adj.data(), sizeof(VertexId),
-                                          adj_size, f.get()) == adj_size);
-  if (!ok) return Status::Corruption(path + ": truncated body");
-  if (offsets.front() != 0 || offsets.back() != adj_size) {
-    return Status::Corruption(path + ": inconsistent offsets");
-  }
-  *graph = Graph(std::move(offsets), std::move(adj));
-  return Status::Ok();
+  return IngestBinary(path, IngestOptions{}, graph);
 }
 
 }  // namespace hcd

@@ -1,0 +1,59 @@
+#ifndef HCD_PARALLEL_PRIMITIVES_H_
+#define HCD_PARALLEL_PRIMITIVES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+
+/// Sorts `v` in parallel: the range is split into P blocks (P = thread
+/// count rounded up to a power of two), each block is std::sort-ed
+/// concurrently, then blocks are pairwise std::inplace_merge-d in log2(P)
+/// parallel rounds. The result equals std::sort for every thread count
+/// (the comparator induces a total order on distinct values and equal
+/// values are indistinguishable), which is what lets the ingest path
+/// promise thread-count-independent output.
+template <typename T, typename Cmp = std::less<T>>
+void ParallelSort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  const size_t n = v.size();
+  const size_t threads = static_cast<size_t>(std::max(1, MaxThreads()));
+  // Below ~16k elements the merge machinery costs more than it saves.
+  if (threads <= 1 || n < (size_t{1} << 14)) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  size_t p = 1;
+  while (p < threads) p <<= 1;
+  // Keep blocks large enough that per-block std::sort dominates.
+  while (p > 1 && n / p < (size_t{1} << 12)) p >>= 1;
+
+  std::vector<size_t> bounds(p + 1);
+  for (size_t i = 0; i <= p; ++i) bounds[i] = i * n / p;
+
+  // schedule(static) spreads the p (or fewer) chunky iterations one per
+  // thread; the dynamic wrapper's chunk size would serialize them.
+  ParallelFor(size_t{0}, p, [&](size_t b) {
+    std::sort(v.begin() + bounds[b], v.begin() + bounds[b + 1], cmp);
+  });
+  for (size_t width = 1; width < p; width <<= 1) {
+    const size_t stride = width << 1;
+    const size_t pairs = (p + stride - 1) / stride;
+    ParallelFor(size_t{0}, pairs, [&](size_t i) {
+      const size_t lo = i * stride;
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + stride, p);
+      if (mid < hi) {
+        std::inplace_merge(v.begin() + bounds[lo], v.begin() + bounds[mid],
+                           v.begin() + bounds[hi], cmp);
+      }
+    });
+  }
+}
+
+}  // namespace hcd
+
+#endif  // HCD_PARALLEL_PRIMITIVES_H_

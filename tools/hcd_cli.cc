@@ -12,11 +12,13 @@
 //   hcd_cli influential <graph> <k> <r> [seed] [flags]
 //   hcd_cli bestk <graph> <metric> [flags]
 //
-// Every command accepts --algo=phcd|lcps|naive, --threads=N and --json;
-// unknown or malformed flags abort with usage (exit 2). All graph-consuming
-// commands run on one shared HcdEngine, so each pipeline stage (load,
-// decomposition, construction, search preprocessing) is computed at most
-// once per invocation; --json dumps the per-stage telemetry report.
+// Every command accepts --algo=phcd|lcps|naive, --threads=N,
+// --io-threads=N and --json; unknown or malformed flags abort with usage
+// (exit 2). All graph-consuming commands run on one shared HcdEngine, so
+// each pipeline stage (load, decomposition, construction, search
+// preprocessing) is computed at most once per invocation; --json dumps the
+// per-stage telemetry report, including the ingest sub-stages
+// (load.read/parse/remap/build for text, load.read/validate for binary).
 //
 // <graph> is loaded as binary when the path ends in ".bin", else as an
 // edge-list text file.
@@ -37,6 +39,7 @@
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "graph/ingest.h"
 #include "graph/io.h"
 #include "hcd/export.h"
 #include "hcd/serialize.h"
@@ -90,6 +93,8 @@ int Usage() {
       "  --algo=phcd|lcps|naive   HCD construction algorithm (default phcd)\n"
       "  --threads=N              OpenMP threads for every stage (default:\n"
       "                           ambient setting)\n"
+      "  --io-threads=N           OpenMP threads for graph ingest only\n"
+      "                           (default: the --threads setting)\n"
       "  --json                   print a machine-readable per-stage\n"
       "                           telemetry report instead of prose\n");
   return 2;
@@ -134,6 +139,18 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
         return false;
       }
       out->options.threads = static_cast<int>(threads);
+    } else if (arg.rfind("--io-threads=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --io-threads value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->options.io_threads = static_cast<int>(threads);
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -211,15 +228,25 @@ int CmdGen(const CliArgs& args) {
 int CmdConvert(const CliArgs& args) {
   if (args.pos.size() != 2) return Usage();
   Graph g;
-  Status s = hcd::LoadEdgeListText(args.pos[0], &g);
+  hcd::StageTelemetry telemetry;
+  hcd::IngestOptions ingest_options;
+  ingest_options.io_threads = args.options.io_threads > 0
+                                  ? args.options.io_threads
+                                  : args.options.threads;
+  ingest_options.sink = args.options.telemetry ? &telemetry : nullptr;
+  Status s = hcd::IngestEdgeListText(args.pos[0], ingest_options, &g);
   if (!s.ok()) return Fail(s);
-  s = hcd::SaveBinary(g, args.pos[1]);
+  {
+    ScopedStage stage(ingest_options.sink, "serialize");
+    s = hcd::SaveBinary(g, args.pos[1]);
+  }
   if (!s.ok()) return Fail(s);
   if (args.json) {
     std::printf("{\"command\":\"convert\",\"out\":\"%s\",\"graph\":{\"n\":%u,"
-                "\"m\":%llu}}\n",
+                "\"m\":%llu},\"telemetry\":%s}\n",
                 hcd::JsonEscape(args.pos[1]).c_str(), g.NumVertices(),
-                static_cast<unsigned long long>(g.NumEdges()));
+                static_cast<unsigned long long>(g.NumEdges()),
+                telemetry.ToJson().c_str());
   } else {
     std::printf("converted %s -> %s (n=%u m=%llu)\n", args.pos[0].c_str(),
                 args.pos[1].c_str(), g.NumVertices(),
