@@ -19,6 +19,7 @@
 #include "core/core_decomposition.h"
 #include "graph/generators.h"
 #include "hcd/divide_conquer.h"
+#include "hcd/flat_index.h"
 #include "hcd/lcps.h"
 #include "hcd/lower_bound.h"
 #include "hcd/phcd.h"
@@ -40,13 +41,13 @@ int main() {
   for (auto& ds : suite) {
     const hcd::Graph& g = ds.graph;
     hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-    hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+    const hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(g, cd));
     const double shared = hcd::bench::TimeIt([&] {
-      hcd::SubgraphSearcher searcher(g, cd, forest);
+      hcd::SubgraphSearcher searcher(g, cd, flat);
       for (hcd::Metric m : type_a) searcher.Search(m);
     });
     const double per_call = hcd::bench::TimeIt([&] {
-      for (hcd::Metric m : type_a) hcd::PbksSearch(g, cd, forest, m);
+      for (hcd::Metric m : type_a) hcd::PbksSearch(g, cd, flat, m);
     });
     std::printf("%-4s | %12.4f %12.4f %7.2fx\n", ds.name.c_str(), shared,
                 per_call, per_call / shared);

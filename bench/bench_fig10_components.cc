@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "core/core_decomposition.h"
 #include "core/julienne.h"
+#include "hcd/flat_index.h"
 #include "hcd/lcps.h"
 #include "hcd/phcd.h"
 #include "hcd/vertex_rank.h"
@@ -30,7 +31,7 @@ int main() {
   for (auto& ds : hcd::bench::LoadBenchSuite()) {
     const hcd::Graph& g = ds.graph;
     hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(g);
-    hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+    const hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(g, cd));
     const hcd::GraphGlobals globals{g.NumVertices(), g.NumEdges()};
 
     const double bz =
@@ -53,20 +54,20 @@ int main() {
         hcd::PreprocessCorenessCounts(g, cd);
 
     const double bks_a = hcd::bench::TimeWithThreads(1, [&] {
-      ScoreNodes(forest, hcd::Metric::kConductance,
-                 BksTypeAPrimary(g, cd, forest, index, vr), globals);
+      ScoreNodes(flat, hcd::Metric::kConductance,
+                 BksTypeAPrimary(g, cd, flat, index, vr), globals);
     });
     const double pbks_a = hcd::bench::TimeWithThreads(pmax, [&] {
-      ScoreNodes(forest, hcd::Metric::kConductance,
-                 PbksTypeAPrimary(g, cd, forest, pre), globals);
+      ScoreNodes(flat, hcd::Metric::kConductance,
+                 PbksTypeAPrimary(g, cd, flat, pre), globals);
     });
     const double bks_b = hcd::bench::TimeWithThreads(1, [&] {
-      ScoreNodes(forest, hcd::Metric::kClusteringCoefficient,
-                 BksTypeBPrimary(g, cd, forest, index, vr), globals);
+      ScoreNodes(flat, hcd::Metric::kClusteringCoefficient,
+                 BksTypeBPrimary(g, cd, flat, index, vr), globals);
     });
     const double pbks_b = hcd::bench::TimeWithThreads(pmax, [&] {
-      ScoreNodes(forest, hcd::Metric::kClusteringCoefficient,
-                 PbksTypeBPrimary(g, cd, forest, vr, pre), globals);
+      ScoreNodes(flat, hcd::Metric::kClusteringCoefficient,
+                 PbksTypeBPrimary(g, cd, flat, vr, pre), globals);
     });
 
     std::printf("%-4s |  %7.2fx %7.2fx %7.2fx %7.2fx\n", ds.name.c_str(),

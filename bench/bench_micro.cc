@@ -7,6 +7,7 @@
 #include "core/core_decomposition.h"
 #include "core/julienne.h"
 #include "graph/generators.h"
+#include "hcd/flat_index.h"
 #include "hcd/lcps.h"
 #include "hcd/phcd.h"
 #include "hcd/vertex_rank.h"
@@ -23,6 +24,7 @@ struct Fixture {
   hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(graph);
   hcd::VertexRank vr = hcd::ComputeVertexRank(cd);
   hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  hcd::FlatHcdIndex flat = hcd::Freeze(forest);
   hcd::CorenessNeighborCounts pre = hcd::PreprocessCorenessCounts(graph, cd);
 };
 
@@ -125,11 +127,20 @@ void BM_PhcdBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_PhcdBuild);
 
+void BM_Freeze(benchmark::State& state) {
+  const auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcd::Freeze(f.forest));
+  }
+  state.SetItemsProcessed(state.iterations() * f.flat.NumNodes());
+}
+BENCHMARK(BM_Freeze);
+
 void BM_TypeAPrimary(benchmark::State& state) {
   const auto& f = GetFixture();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        hcd::PbksTypeAPrimary(f.graph, f.cd, f.forest, f.pre));
+        hcd::PbksTypeAPrimary(f.graph, f.cd, f.flat, f.pre));
   }
 }
 BENCHMARK(BM_TypeAPrimary);
@@ -138,7 +149,7 @@ void BM_TypeBPrimary(benchmark::State& state) {
   const auto& f = GetFixture();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        hcd::PbksTypeBPrimary(f.graph, f.cd, f.forest, f.vr, f.pre));
+        hcd::PbksTypeBPrimary(f.graph, f.cd, f.flat, f.vr, f.pre));
   }
 }
 BENCHMARK(BM_TypeBPrimary);

@@ -6,6 +6,7 @@
 #include "bench/bench_datasets.h"
 #include "bench/bench_util.h"
 #include "core/core_decomposition.h"
+#include "hcd/flat_index.h"
 #include "hcd/lcps.h"
 #include "hcd/phcd.h"
 #include "hcd/vertex_rank.h"
@@ -23,7 +24,8 @@ namespace hcd::bench {
 /// preprocessing (coreness counts / adjacency ordering) excluded, matching
 /// the paper's SC-A / SC-B measurements.
 /// include_input == true (Figures 7, 9): whole pipeline — PKC + PHCD +
-/// PBKS (p threads) versus PKC(1) + LCPS + BKS.
+/// Freeze + PBKS (p threads) versus PKC(1) + LCPS + Freeze + BKS (both
+/// sides pay for freezing their forest into the query index).
 inline int RunSearchSpeedupFigure(const char* title, bool type_b,
                                   bool include_input) {
   PrintHardwareBanner(title);
@@ -37,23 +39,23 @@ inline int RunSearchSpeedupFigure(const char* title, bool type_b,
   for (auto& ds : LoadBenchSuite()) {
     const Graph& g = ds.graph;
     CoreDecomposition cd = PkcCoreDecomposition(g);
-    HcdForest forest = PhcdBuild(g, cd);
+    const FlatHcdIndex index = Freeze(PhcdBuild(g, cd));
     const GraphGlobals globals{g.NumVertices(), g.NumEdges()};
 
     double serial = 0.0;
     if (include_input) {
       serial = TimeWithThreads(1, [&] {
         CoreDecomposition scd = PkcCoreDecomposition(g);
-        HcdForest sf = LcpsBuild(g, scd);
-        BksSearch(g, scd, sf, metric);
+        const FlatHcdIndex si = Freeze(LcpsBuild(g, scd));
+        BksSearch(g, scd, si, metric);
       });
     } else {
-      const BksIndex index = BuildBksIndex(g, cd);
+      const BksIndex bks = BuildBksIndex(g, cd);
       const VertexRank vr = ComputeVertexRank(cd);
       serial = TimeWithThreads(1, [&] {
-        auto primary = type_b ? BksTypeBPrimary(g, cd, forest, index, vr)
-                              : BksTypeAPrimary(g, cd, forest, index, vr);
-        ScoreNodes(forest, metric, primary, globals);
+        auto primary = type_b ? BksTypeBPrimary(g, cd, index, bks, vr)
+                              : BksTypeAPrimary(g, cd, index, bks, vr);
+        ScoreNodes(index, metric, primary, globals);
       });
     }
 
@@ -63,16 +65,16 @@ inline int RunSearchSpeedupFigure(const char* title, bool type_b,
       if (include_input) {
         t = TimeWithThreads(p, [&] {
           CoreDecomposition pcd = PkcCoreDecomposition(g);
-          HcdForest pf = PhcdBuild(g, pcd);
-          PbksSearch(g, pcd, pf, metric);
+          const FlatHcdIndex pi = Freeze(PhcdBuild(g, pcd));
+          PbksSearch(g, pcd, pi, metric);
         });
       } else {
         const CorenessNeighborCounts pre = PreprocessCorenessCounts(g, cd);
         const VertexRank vr = ComputeVertexRank(cd);
         t = TimeWithThreads(p, [&] {
-          auto primary = type_b ? PbksTypeBPrimary(g, cd, forest, vr, pre)
-                                : PbksTypeAPrimary(g, cd, forest, pre);
-          ScoreNodes(forest, metric, primary, globals);
+          auto primary = type_b ? PbksTypeBPrimary(g, cd, index, vr, pre)
+                                : PbksTypeAPrimary(g, cd, index, pre);
+          ScoreNodes(index, metric, primary, globals);
         });
       }
       std::printf(" %7.2fx", serial / t);

@@ -12,6 +12,7 @@
 #include "bench/bench_datasets.h"
 #include "bench/bench_util.h"
 #include "core/core_decomposition.h"
+#include "hcd/flat_index.h"
 #include "hcd/phcd.h"
 #include "search/bks.h"
 #include "search/densest.h"
@@ -38,19 +39,19 @@ int main() {
   for (auto& ds : hcd::bench::LoadBenchSuite()) {
     const hcd::Graph& g = ds.graph;
     hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
-    hcd::HcdForest forest = hcd::PhcdBuild(g, cd);
+    const hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(g, cd));
 
     hcd::DenseSubgraph coreapp;
     const double coreapp_t = hcd::bench::TimeWithThreads(
         1, [&] { coreapp = hcd::CoreAppDensest(g, cd); });
 
     const double optd_t = hcd::bench::TimeWithThreads(1, [&] {
-      hcd::BksSearch(g, cd, forest, hcd::Metric::kAverageDegree);
+      hcd::BksSearch(g, cd, flat, hcd::Metric::kAverageDegree);
     });
 
     hcd::DenseSubgraph pbksd;
     const double pbksd_t = hcd::bench::TimeWithThreads(
-        pmax, [&] { pbksd = hcd::PbksDensest(g, cd, forest); });
+        pmax, [&] { pbksd = hcd::PbksDensest(g, cd, flat); });
 
     char mc_col[16] = "   -";
     if (cd.k_max <= kMaxCliqueDegeneracyCap) {

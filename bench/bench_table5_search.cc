@@ -2,7 +2,7 @@
 // count (seconds) and its speedup over the serial BKS, for a type-A metric
 // (conductance) and a type-B metric (clustering coefficient).
 //
-// The decomposition and forest every search runs on come from one shared
+// The decomposition and flat index every search runs on come from one shared
 // engine per dataset (computed once, memoized); the searches themselves are
 // timed with a fresh run per rep so each algorithm pays for its own
 // preprocessing, as in the paper.
@@ -26,19 +26,19 @@ int main() {
     const hcd::Graph& g = ds.graph;
     hcd::HcdEngine engine(&g, {.algo = hcd::EngineAlgo::kPhcd});
     const hcd::CoreDecomposition& cd = engine.Coreness();
-    const hcd::HcdForest& forest = engine.Forest();
+    const hcd::FlatHcdIndex& flat = engine.Flat();
 
     const double pbks_a = hcd::bench::TimeWithThreads(pmax, [&] {
-      hcd::PbksSearch(g, cd, forest, hcd::Metric::kConductance);
+      hcd::PbksSearch(g, cd, flat, hcd::Metric::kConductance);
     });
     const double bks_a = hcd::bench::TimeWithThreads(1, [&] {
-      hcd::BksSearch(g, cd, forest, hcd::Metric::kConductance);
+      hcd::BksSearch(g, cd, flat, hcd::Metric::kConductance);
     });
     const double pbks_b = hcd::bench::TimeWithThreads(pmax, [&] {
-      hcd::PbksSearch(g, cd, forest, hcd::Metric::kClusteringCoefficient);
+      hcd::PbksSearch(g, cd, flat, hcd::Metric::kClusteringCoefficient);
     });
     const double bks_b = hcd::bench::TimeWithThreads(1, [&] {
-      hcd::BksSearch(g, cd, forest, hcd::Metric::kClusteringCoefficient);
+      hcd::BksSearch(g, cd, flat, hcd::Metric::kClusteringCoefficient);
     });
 
     std::printf("%-4s | %12.4f %8.2fx | %12.4f %8.2fx\n", ds.name.c_str(),

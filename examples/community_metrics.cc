@@ -20,18 +20,18 @@ int main(int argc, char** argv) {
 
   hcd::HcdEngine engine(hcd::RMatGraph500(scale, edges, seed));
   const hcd::CoreDecomposition& cd = engine.Coreness();
-  const hcd::HcdForest& forest = engine.Forest();
+  const hcd::FlatHcdIndex& flat = engine.Flat();
   std::printf("RMAT graph: n=%u m=%llu k_max=%u |T|=%u\n",
               engine.graph().NumVertices(),
               static_cast<unsigned long long>(engine.graph().NumEdges()),
-              cd.k_max, forest.NumNodes());
+              cd.k_max, flat.NumNodes());
 
   std::printf("\n== best k-core per metric (PBKS) ==\n");
   for (hcd::Metric metric : hcd::kAllMetrics) {
     hcd::SearchResult r = engine.Search(metric);
     std::printf("%-24s best: k=%-4u |S|=%-8llu score=%.5f\n",
-                hcd::MetricName(metric), forest.Level(r.best_node),
-                static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+                hcd::MetricName(metric), flat.Level(r.best_node),
+                static_cast<unsigned long long>(flat.CoreSize(r.best_node)),
                 r.best_score);
   }
 

@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.NumEdges()));
 
   hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(graph);
-  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(graph, cd));
 
   hcd::Timer timer;
-  hcd::DenseSubgraph pbksd = hcd::PbksDensest(graph, cd, forest);
+  hcd::DenseSubgraph pbksd = hcd::PbksDensest(graph, cd, flat);
   const double pbks_time = timer.Seconds();
 
   timer.Reset();

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   hcd::Graph graph = hcd::BarabasiAlbert(n, epv, seed);
   hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(graph);
-  hcd::HcdForest forest = hcd::PhcdBuild(graph, cd);
+  hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(graph, cd));
 
   // Engagement proxy per coreness level: average degree of users at that
   // coreness (degree plays the role of check-in counts in [14]).
@@ -56,17 +56,17 @@ int main(int argc, char** argv) {
     }
   }
   const auto pre = hcd::PreprocessCorenessCounts(graph, cd);
-  const auto primary = hcd::PbksTypeAPrimary(graph, cd, forest, pre);
+  const auto primary = hcd::PbksTypeAPrimary(graph, cd, flat, pre);
   std::printf(
       "\n== HCD refinement at coreness %u: distinct %u-cores and their "
       "density ==\n",
       busiest_level, busiest_level);
   uint32_t shown = 0;
-  for (hcd::TreeNodeId t = 0; t < forest.NumNodes() && shown < 10; ++t) {
-    if (forest.Level(t) != busiest_level) continue;
+  for (hcd::TreeNodeId t = 0; t < flat.NumNodes() && shown < 10; ++t) {
+    if (flat.Level(t) != busiest_level) continue;
     const auto& pv = primary[t];
     std::printf("  node %-5u shell=%-6zu core_n=%-7llu core_avg_deg=%.2f\n", t,
-                forest.Vertices(t).size(),
+                flat.Vertices(t).size(),
                 static_cast<unsigned long long>(pv.n_s),
                 pv.n_s ? static_cast<double>(pv.edges2) / pv.n_s : 0.0);
     ++shown;

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
   hcd::HcdEngine engine(std::move(graph));
 
   std::printf("core decomposition: k_max=%u\n", engine.Coreness().k_max);
-  const hcd::HcdForest& forest = engine.Forest();
-  std::printf("HCD: %u tree nodes, %zu roots\n", forest.NumNodes(),
-              forest.Roots().size());
+  const hcd::FlatHcdIndex& flat = engine.Flat();
+  std::printf("HCD: %u tree nodes, %zu roots\n", flat.NumNodes(),
+              flat.Roots().size());
 
   for (hcd::Metric metric :
        {hcd::Metric::kAverageDegree, hcd::Metric::kConductance,
@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
     hcd::SearchResult r = engine.Search(metric);
     if (r.best_node == hcd::kInvalidNode) continue;
     std::printf("best k-core under %-22s: k=%u, |S|=%llu, score=%.4f\n",
-                hcd::MetricName(metric), forest.Level(r.best_node),
-                static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+                hcd::MetricName(metric), flat.Level(r.best_node),
+                static_cast<unsigned long long>(flat.CoreSize(r.best_node)),
                 r.best_score);
   }
 

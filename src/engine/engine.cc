@@ -129,14 +129,26 @@ const HcdForest& HcdEngine::Forest() {
   return *forest_;
 }
 
-SubgraphSearcher& HcdEngine::Searcher() {
-  if (!searcher_) {
-    const CoreDecomposition& cd = Coreness();
+const FlatHcdIndex& HcdEngine::Flat() {
+  if (!flat_) {
     const HcdForest& forest = Forest();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "construction.freeze");
+    flat_ = Freeze(forest);
+    stage.AddCounter("nodes", flat_->NumNodes());
+  }
+  return *flat_;
+}
+
+SubgraphSearcher& HcdEngine::Searcher() {
+  if (!searcher_) {
+    const CoreDecomposition& cd = Coreness();
+    const FlatHcdIndex& flat = Flat();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
     searcher_ =
-        std::make_unique<SubgraphSearcher>(*graph_, cd, forest, sink());
+        std::make_unique<SubgraphSearcher>(*graph_, cd, flat, sink());
   }
   return *searcher_;
 }

@@ -10,6 +10,7 @@
 #include "common/telemetry.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 #include "hcd/vertex_rank.h"
 #include "search/metrics.h"
@@ -50,9 +51,10 @@ struct EngineOptions {
 
 /// The pipeline object behind every consumer of the library: owns (or
 /// borrows) one graph and computes each derived stage lazily, at most once
-/// — core decomposition, vertex rank, HCD forest, subgraph searcher.
-/// Repeated accessor calls return the same cached object, so e.g. all nine
-/// CLI commands and a long-lived query server pay for each stage once.
+/// — core decomposition, vertex rank, HCD forest, frozen flat index,
+/// subgraph searcher. Repeated accessor calls return the same cached
+/// object, so e.g. all nine CLI commands and a long-lived query server pay
+/// for each stage once.
 ///
 /// Thread counts are applied per stage with ThreadCountGuard (never by
 /// mutating global OpenMP state), and every stage reports wall time and
@@ -102,10 +104,15 @@ class HcdEngine {
   const VertexRank& Rank();
 
   /// HCD forest built by options().algo (stage "construction"). Computed
-  /// on first call.
+  /// on first call. Builder-facing; query-side consumers should use Flat().
   const HcdForest& Forest();
 
-  /// Memoized searcher over Coreness() and Forest(); constructing it runs
+  /// Immutable flat index frozen from Forest() (stage
+  /// "construction.freeze"). Computed on first call; this is the
+  /// representation every query path (search, stats, export) serves from.
+  const FlatHcdIndex& Flat();
+
+  /// Memoized searcher over Coreness() and Flat(); constructing it runs
   /// the PBKS preprocessing (stage "search.preprocess").
   SubgraphSearcher& Searcher();
 
@@ -121,6 +128,7 @@ class HcdEngine {
   std::optional<CoreDecomposition> cd_;
   std::optional<VertexRank> rank_;
   std::optional<HcdForest> forest_;
+  std::optional<FlatHcdIndex> flat_;
   std::unique_ptr<SubgraphSearcher> searcher_;
 };
 

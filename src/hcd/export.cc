@@ -4,8 +4,10 @@
 #include <sstream>
 
 namespace hcd {
+namespace {
 
-std::string ForestToDot(const HcdForest& forest, const DotOptions& options) {
+template <typename Hierarchy>
+std::string ForestToDotImpl(const Hierarchy& forest, const DotOptions& options) {
   std::ostringstream out;
   out << "digraph hcd {\n";
   out << "  rankdir=BT;\n";
@@ -41,7 +43,8 @@ std::string ForestToDot(const HcdForest& forest, const DotOptions& options) {
   return out.str();
 }
 
-std::string ForestToJson(const HcdForest& forest) {
+template <typename Hierarchy>
+std::string ForestToJsonImpl(const Hierarchy& forest) {
   std::ostringstream out;
   out << "[\n";
   for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
@@ -64,6 +67,24 @@ std::string ForestToJson(const HcdForest& forest) {
   }
   out << "]\n";
   return out.str();
+}
+
+}  // namespace
+
+std::string ForestToDot(const HcdForest& forest, const DotOptions& options) {
+  return ForestToDotImpl(forest, options);
+}
+
+std::string ForestToDot(const FlatHcdIndex& index, const DotOptions& options) {
+  return ForestToDotImpl(index, options);
+}
+
+std::string ForestToJson(const HcdForest& forest) {
+  return ForestToJsonImpl(forest);
+}
+
+std::string ForestToJson(const FlatHcdIndex& index) {
+  return ForestToJsonImpl(index);
 }
 
 }  // namespace hcd

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 
 namespace hcd {
@@ -15,13 +16,18 @@ struct DotOptions {
   bool color_by_level = true;
 };
 
-/// Renders the forest as Graphviz DOT (one graph node per tree node, edges
-/// parent -> child), the paper's visualization application.
+/// Renders the hierarchy as Graphviz DOT (one graph node per tree node,
+/// edges parent -> child), the paper's visualization application. Accepts
+/// either the builder forest or the frozen index.
 std::string ForestToDot(const HcdForest& forest, const DotOptions& options = {});
+std::string ForestToDot(const FlatHcdIndex& index, const DotOptions& options = {});
 
-/// Renders the forest as a JSON document: an array of
-/// {"id", "level", "parent", "vertices"} objects.
+/// Renders the hierarchy as a JSON document: an array of
+/// {"id", "level", "parent", "vertices"} objects. Note the two
+/// representations number nodes differently (the frozen index uses
+/// preorder ids), so their JSON differs in ids but not in structure.
 std::string ForestToJson(const HcdForest& forest);
+std::string ForestToJson(const FlatHcdIndex& index);
 
 }  // namespace hcd
 

@@ -1,0 +1,358 @@
+#include "hcd/flat_index.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "parallel/omp_utils.h"
+
+namespace hcd {
+namespace {
+
+/// Counting sort of node ids by descending level, ties by ascending id.
+/// Also emits the group boundaries (one group per distinct level).
+void BuildDescLevelOrder(const std::vector<uint32_t>& levels,
+                         std::vector<TreeNodeId>* order,
+                         std::vector<uint32_t>* group_offsets) {
+  const size_t num_nodes = levels.size();
+  order->resize(num_nodes);
+  group_offsets->assign(1, 0);
+  if (num_nodes == 0) return;
+
+  uint32_t max_level = 0;
+  for (uint32_t l : levels) max_level = std::max(max_level, l);
+  // Bucket b holds level max_level - b, so ascending buckets are descending
+  // levels.
+  std::vector<uint32_t> bucket_size(static_cast<size_t>(max_level) + 1, 0);
+  for (uint32_t l : levels) ++bucket_size[max_level - l];
+  std::vector<uint32_t> bucket_start(bucket_size.size() + 1, 0);
+  for (size_t b = 0; b < bucket_size.size(); ++b) {
+    bucket_start[b + 1] = bucket_start[b] + bucket_size[b];
+    if (bucket_size[b] > 0) group_offsets->push_back(bucket_start[b + 1]);
+  }
+  std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    (*order)[cursor[max_level - levels[t]]++] = t;
+  }
+}
+
+}  // namespace
+
+Status FlatHcdIndex::Adopt(Data d, FlatHcdIndex* out) {
+  auto corrupt = [](const std::string& msg) {
+    return Status::Corruption("flat index: " + msg);
+  };
+  const size_t num_nodes = d.levels.size();
+  if (num_nodes >= kInvalidNode) return corrupt("too many nodes");
+  if (d.num_vertices >= kInvalidVertex) return corrupt("too many vertices");
+  if (d.parents.size() != num_nodes || d.subtree_nodes.size() != num_nodes ||
+      d.desc_level_order.size() != num_nodes ||
+      d.child_offsets.size() != num_nodes + 1 ||
+      d.vertex_offsets.size() != num_nodes + 1 ||
+      d.tid.size() != d.num_vertices) {
+    return corrupt("section size mismatch");
+  }
+  if (d.child_offsets.front() != 0 || d.vertex_offsets.front() != 0) {
+    return corrupt("offset array does not start at 0");
+  }
+  for (size_t t = 0; t < num_nodes; ++t) {
+    if (d.child_offsets[t + 1] < d.child_offsets[t] ||
+        d.vertex_offsets[t + 1] < d.vertex_offsets[t]) {
+      return corrupt("offset array not monotone");
+    }
+  }
+  if (d.child_offsets.back() != d.children.size()) {
+    return corrupt("children size does not match offsets");
+  }
+  if (d.vertex_offsets.back() != d.vertices.size()) {
+    return corrupt("vertices size does not match offsets");
+  }
+  if (d.vertices.size() > d.num_vertices) {
+    return corrupt("more placed vertices than graph vertices");
+  }
+
+  // Preorder nesting: a node's parent precedes it, sits at a strictly lower
+  // level, and the child's subtree interval nests inside the parent's.
+  size_t root_count = 0;
+  for (size_t t = 0; t < num_nodes; ++t) {
+    const uint64_t sub = d.subtree_nodes[t];
+    if (sub == 0 || t + sub > num_nodes) {
+      return corrupt("subtree interval out of range");
+    }
+    const TreeNodeId p = d.parents[t];
+    if (p == kInvalidNode) {
+      ++root_count;
+      continue;
+    }
+    if (p >= t) return corrupt("parent does not precede child in preorder");
+    if (d.levels[p] >= d.levels[t]) {
+      return corrupt("parent level not below child level");
+    }
+    if (t >= static_cast<uint64_t>(p) + d.subtree_nodes[p] ||
+        t + sub > static_cast<uint64_t>(p) + d.subtree_nodes[p]) {
+      return corrupt("child subtree escapes parent subtree");
+    }
+  }
+
+  // Roots are exactly the parentless nodes, ascending, and their subtree
+  // intervals tile [0, N).
+  if (d.roots.size() != root_count) return corrupt("root count mismatch");
+  {
+    size_t ri = 0;
+    uint64_t expected_next = 0;
+    for (size_t t = 0; t < num_nodes; ++t) {
+      if (d.parents[t] != kInvalidNode) continue;
+      if (d.roots[ri] != t) return corrupt("roots array mismatch");
+      if (t != expected_next) return corrupt("root subtrees do not tile");
+      expected_next = t + d.subtree_nodes[t];
+      ++ri;
+    }
+    if (num_nodes > 0 && expected_next != num_nodes) {
+      return corrupt("root subtrees do not tile");
+    }
+  }
+
+  // Children: each node's child list must be exactly its subtree's top-level
+  // decomposition — first child at t+1, each next child one subtree later.
+  // Combined with the totals check this makes children <-> parents a
+  // bijection and pins subtree_nodes to the true subtree sizes.
+  if (d.children.size() != num_nodes - root_count) {
+    return corrupt("children total does not match non-root count");
+  }
+  for (size_t t = 0; t < num_nodes; ++t) {
+    uint64_t expected_child = t + 1;
+    for (uint32_t i = d.child_offsets[t]; i < d.child_offsets[t + 1]; ++i) {
+      const TreeNodeId c = d.children[i];
+      if (c >= num_nodes) return corrupt("child id out of range");
+      if (d.parents[c] != t) return corrupt("child/parent mismatch");
+      if (c != expected_child) {
+        return corrupt("children not at preorder subtree boundaries");
+      }
+      expected_child = static_cast<uint64_t>(c) + d.subtree_nodes[c];
+    }
+    if (expected_child != t + d.subtree_nodes[t]) {
+      return corrupt("subtree size does not match children");
+    }
+  }
+
+  // Vertex placements: per-node spans agree with tid, and every placed
+  // vertex is accounted for exactly once.
+  for (size_t t = 0; t < num_nodes; ++t) {
+    for (uint32_t i = d.vertex_offsets[t]; i < d.vertex_offsets[t + 1]; ++i) {
+      const VertexId v = d.vertices[i];
+      if (v >= d.num_vertices) return corrupt("vertex id out of range");
+      if (d.tid[v] != t) return corrupt("tid does not match vertex placement");
+    }
+  }
+  {
+    uint64_t placed = 0;
+    for (VertexId v = 0; v < d.num_vertices; ++v) {
+      const TreeNodeId t = d.tid[v];
+      if (t == kInvalidNode) continue;
+      if (t >= num_nodes) return corrupt("tid out of range");
+      ++placed;
+    }
+    if (placed != d.vertices.size()) {
+      return corrupt("placed vertex count does not match tid");
+    }
+  }
+
+  // desc_level_order: a permutation of the nodes, grouped by strictly
+  // descending level with ascending ids inside a group (canonical form).
+  if (d.level_group_offsets.empty() || d.level_group_offsets.front() != 0 ||
+      d.level_group_offsets.back() != num_nodes) {
+    return corrupt("level group offsets malformed");
+  }
+  {
+    std::vector<uint8_t> seen(num_nodes, 0);
+    bool have_prev_level = false;
+    uint32_t prev_level = 0;
+    for (size_t g = 0; g + 1 < d.level_group_offsets.size(); ++g) {
+      const uint32_t begin = d.level_group_offsets[g];
+      const uint32_t end = d.level_group_offsets[g + 1];
+      if (end <= begin) return corrupt("empty level group");
+      const TreeNodeId first = d.desc_level_order[begin];
+      if (first >= num_nodes) return corrupt("level order id out of range");
+      const uint32_t group_level = d.levels[first];
+      if (have_prev_level && group_level >= prev_level) {
+        return corrupt("level groups not strictly descending");
+      }
+      have_prev_level = true;
+      prev_level = group_level;
+      for (uint32_t i = begin; i < end; ++i) {
+        const TreeNodeId t = d.desc_level_order[i];
+        if (t >= num_nodes || seen[t] != 0) {
+          return corrupt("level order is not a permutation");
+        }
+        seen[t] = 1;
+        if (d.levels[t] != group_level) {
+          return corrupt("mixed levels inside level group");
+        }
+        if (i > begin && d.desc_level_order[i - 1] >= t) {
+          return corrupt("level group ids not ascending");
+        }
+      }
+    }
+  }
+
+  out->data_ = std::move(d);
+  return Status::Ok();
+}
+
+FlatHcdIndex Freeze(const HcdForest& forest) {
+  const TreeNodeId num_nodes = forest.NumNodes();
+  const VertexId n = forest.NumVertices();
+
+  FlatHcdIndex out;
+  FlatHcdIndex::Data& d = out.data_;
+  d.num_vertices = n;
+  d.tid.assign(n, kInvalidNode);
+  if (num_nodes == 0) return out;
+
+  // Child CSR over the builder's node ids, straight from parent pointers
+  // (works whether or not BuildChildren ran). Freeze re-checks the level
+  // contract so a malformed builder forest fails loudly here instead of
+  // producing a cyclic "preorder".
+  std::vector<uint32_t> old_child_offsets(num_nodes + 1, 0);
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    const TreeNodeId p = forest.Parent(t);
+    if (p == kInvalidNode) continue;
+    HCD_CHECK_LT(forest.Level(p), forest.Level(t))
+        << "parent level must be below child level";
+    ++old_child_offsets[p + 1];
+  }
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    old_child_offsets[t + 1] += old_child_offsets[t];
+  }
+  std::vector<TreeNodeId> old_children(old_child_offsets[num_nodes]);
+  {
+    std::vector<uint32_t> cursor(old_child_offsets.begin(),
+                                 old_child_offsets.end() - 1);
+    for (TreeNodeId t = 0; t < num_nodes; ++t) {
+      const TreeNodeId p = forest.Parent(t);
+      if (p != kInvalidNode) old_children[cursor[p]++] = t;
+    }
+  }
+  auto old_children_of = [&](TreeNodeId t) {
+    return std::span<const TreeNodeId>(old_children)
+        .subspan(old_child_offsets[t],
+                 old_child_offsets[t + 1] - old_child_offsets[t]);
+  };
+
+  std::vector<uint32_t> old_levels(num_nodes);
+  for (TreeNodeId t = 0; t < num_nodes; ++t) old_levels[t] = forest.Level(t);
+
+  // Subtree node / vertex counts, bottom-up. Nodes of equal level are never
+  // ancestor/descendant, so each descending-level group is one parallel
+  // step whose reads (children) were all written by earlier groups.
+  std::vector<TreeNodeId> sub_nodes(num_nodes);
+  std::vector<uint32_t> sub_verts(num_nodes);
+  {
+    std::vector<TreeNodeId> old_order;
+    std::vector<uint32_t> old_group_offsets;
+    BuildDescLevelOrder(old_levels, &old_order, &old_group_offsets);
+    for (size_t g = 0; g + 1 < old_group_offsets.size(); ++g) {
+      const uint32_t begin = old_group_offsets[g];
+      const uint32_t end = old_group_offsets[g + 1];
+      ParallelFor(begin, end, [&](uint32_t i) {
+        const TreeNodeId t = old_order[i];
+        TreeNodeId sn = 1;
+        uint32_t sv = static_cast<uint32_t>(forest.Vertices(t).size());
+        for (TreeNodeId c : old_children_of(t)) {
+          sn += sub_nodes[c];
+          sv += sub_verts[c];
+        }
+        sub_nodes[t] = sn;
+        sub_verts[t] = sv;
+      });
+    }
+  }
+
+  // Per-root preorder id / vertex-slot bases (exclusive scans), so each tree
+  // can be numbered independently in parallel.
+  std::vector<TreeNodeId> old_roots;
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    if (forest.Parent(t) == kInvalidNode) old_roots.push_back(t);
+  }
+  const size_t num_roots = old_roots.size();
+  std::vector<TreeNodeId> node_base(num_roots + 1, 0);
+  std::vector<uint32_t> vert_base(num_roots + 1, 0);
+  for (size_t r = 0; r < num_roots; ++r) {
+    node_base[r + 1] = node_base[r] + sub_nodes[old_roots[r]];
+    vert_base[r + 1] = vert_base[r] + sub_verts[old_roots[r]];
+  }
+  HCD_CHECK_EQ(node_base[num_roots], num_nodes)
+      << "forest has a parent cycle or orphan nodes";
+  const uint32_t total_placed = vert_base[num_roots];
+
+  d.levels.resize(num_nodes);
+  d.parents.resize(num_nodes);
+  d.subtree_nodes.resize(num_nodes);
+  d.vertex_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+  d.vertex_offsets[num_nodes] = total_placed;
+  d.vertices.resize(total_placed);
+  d.roots.resize(num_roots);
+
+  std::vector<TreeNodeId> old2new(num_nodes);
+  // One preorder DFS per tree; trees write disjoint ranges of every output
+  // array, so the loop is embarrassingly parallel (dynamic: tree sizes are
+  // typically very skewed).
+#pragma omp parallel for schedule(dynamic)
+  for (int64_t r = 0; r < static_cast<int64_t>(num_roots); ++r) {
+    TreeNodeId next_id = node_base[r];
+    uint32_t next_slot = vert_base[r];
+    std::vector<TreeNodeId> stack = {old_roots[r]};
+    while (!stack.empty()) {
+      const TreeNodeId old_t = stack.back();
+      stack.pop_back();
+      const TreeNodeId new_t = next_id++;
+      old2new[old_t] = new_t;
+      d.levels[new_t] = old_levels[old_t];
+      d.subtree_nodes[new_t] = sub_nodes[old_t];
+      const TreeNodeId old_p = forest.Parent(old_t);
+      // A node's parent is visited before it in the same tree's DFS, so its
+      // new id is already available.
+      d.parents[new_t] = old_p == kInvalidNode ? kInvalidNode : old2new[old_p];
+      d.vertex_offsets[new_t] = next_slot;
+      for (VertexId v : forest.Vertices(old_t)) {
+        d.vertices[next_slot++] = v;
+        d.tid[v] = new_t;
+      }
+      // Push in reverse so children pop (and get numbered) in ascending
+      // builder order.
+      const std::span<const TreeNodeId> kids = old_children_of(old_t);
+      for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    }
+    d.roots[r] = node_base[r];
+  }
+
+  // Child CSR over the new ids. Sibling order is preserved by the DFS, so
+  // translating the old lists keeps children ascending.
+  std::vector<TreeNodeId> new2old(num_nodes);
+  ParallelFor(TreeNodeId{0}, num_nodes,
+              [&](TreeNodeId t) { new2old[old2new[t]] = t; });
+  d.child_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+  d.child_offsets[0] = 0;
+  for (TreeNodeId t = 0; t < num_nodes; ++t) {
+    d.child_offsets[t + 1] =
+        d.child_offsets[t] +
+        static_cast<uint32_t>(old_children_of(new2old[t]).size());
+  }
+  d.children.resize(d.child_offsets[num_nodes]);
+  ParallelFor(TreeNodeId{0}, num_nodes, [&](TreeNodeId t) {
+    const std::span<const TreeNodeId> kids = old_children_of(new2old[t]);
+    uint32_t offset = d.child_offsets[t];
+    for (TreeNodeId c : kids) d.children[offset++] = old2new[c];
+  });
+
+  BuildDescLevelOrder(d.levels, &d.desc_level_order, &d.level_group_offsets);
+  return out;
+}
+
+FlatHcdIndex Freeze(HcdForest&& forest) {
+  FlatHcdIndex out = Freeze(static_cast<const HcdForest&>(forest));
+  forest = HcdForest();  // release the builder arrays eagerly
+  return out;
+}
+
+}  // namespace hcd

@@ -1,13 +1,23 @@
 #include "hcd/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace hcd {
 namespace {
 
-constexpr uint64_t kForestMagic = 0x484344464f523031ULL;  // "HCDFOR01"
+constexpr uint64_t kForestMagicV1 = 0x484344464f523031ULL;  // "HCDFOR01"
+constexpr uint64_t kForestMagicV2 = 0x484344464f523032ULL;  // "HCDFOR02"
+
+// v2 header: kForestMagicV2, num_vertices, num_nodes, num_roots,
+// num_children, num_placed, num_level_groups, reserved (0).
+constexpr size_t kV2HeaderWords = 8;
+constexpr size_t kV2HeaderBytes = kV2HeaderWords * sizeof(uint64_t);
+// Sections are padded to 8 bytes so each starts at an aligned offset.
+constexpr uint64_t kSectionAlign = 8;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -15,6 +25,25 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status OpenForRead(const std::string& path, FilePtr* f, uint64_t* file_size) {
+  f->reset(std::fopen(path.c_str(), "rb"));
+  if (*f == nullptr) return Status::IoError("cannot open " + path);
+  if (std::fseek(f->get(), 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek " + path);
+  }
+  const long end = std::ftell(f->get());
+  if (end < 0) return Status::IoError("cannot stat " + path);
+  *file_size = static_cast<uint64_t>(end);
+  std::rewind(f->get());
+  return Status::Ok();
+}
+
+uint64_t RemainingBytes(std::FILE* f, uint64_t file_size) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || static_cast<uint64_t>(pos) > file_size) return 0;
+  return file_size - static_cast<uint64_t>(pos);
+}
 
 template <typename T>
 bool WriteVec(std::FILE* f, const std::vector<T>& v) {
@@ -24,13 +53,161 @@ bool WriteVec(std::FILE* f, const std::vector<T>& v) {
   return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
 }
 
+/// Reads a length-prefixed array, refusing to allocate more elements than
+/// the rest of the file could possibly hold — a corrupt 64-bit count must
+/// fail cleanly instead of driving a giant resize.
 template <typename T>
-bool ReadVec(std::FILE* f, std::vector<T>* v) {
+bool ReadVec(std::FILE* f, uint64_t file_size, std::vector<T>* v) {
   uint64_t size = 0;
   if (std::fread(&size, sizeof(size), 1, f) != 1) return false;
+  if (size > RemainingBytes(f, file_size) / sizeof(T)) return false;
   v->resize(size);
   if (size == 0) return true;
   return std::fread(v->data(), sizeof(T), size, f) == size;
+}
+
+uint64_t PaddedSectionBytes(uint64_t count) {
+  const uint64_t bytes = count * sizeof(uint32_t);
+  return (bytes + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+template <typename T>
+bool WriteSection(std::FILE* f, const std::vector<T>& v) {
+  static_assert(sizeof(T) == sizeof(uint32_t));
+  const uint64_t bytes = v.size() * sizeof(T);
+  if (bytes > 0 && std::fwrite(v.data(), sizeof(T), v.size(), f) != v.size()) {
+    return false;
+  }
+  const uint64_t pad = PaddedSectionBytes(v.size()) - bytes;
+  if (pad > 0) {
+    const char zeros[kSectionAlign] = {};
+    if (std::fwrite(zeros, 1, pad, f) != pad) return false;
+  }
+  return true;
+}
+
+/// Bulk-reads one v2 section of a known element count (the count was
+/// already validated against the file size, so the resize is safe).
+template <typename T>
+bool ReadSection(std::FILE* f, uint64_t count, std::vector<T>* v) {
+  static_assert(sizeof(T) == sizeof(uint32_t));
+  v->resize(count);
+  if (count > 0 && std::fread(v->data(), sizeof(T), count, f) != count) {
+    return false;
+  }
+  const long pad =
+      static_cast<long>(PaddedSectionBytes(count) - count * sizeof(T));
+  return pad == 0 || std::fseek(f, pad, SEEK_CUR) == 0;
+}
+
+/// v1 body after the magic word. Every structural property the builders
+/// guarantee is re-validated here: this is the untrusted-input path, so
+/// violations return Corruption instead of tripping the builder CHECKs.
+Status LoadForestV1Body(std::FILE* f, uint64_t file_size,
+                        const std::string& path, HcdForest* forest) {
+  uint64_t n = 0;
+  uint64_t num_nodes = 0;
+  bool ok = std::fread(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fread(&num_nodes, sizeof(num_nodes), 1, f) == 1;
+  if (!ok) return Status::Corruption(path + ": truncated header");
+  if (n >= kInvalidVertex || num_nodes >= kInvalidNode) {
+    return Status::Corruption(path + ": implausible header counts");
+  }
+
+  std::vector<uint32_t> levels;
+  std::vector<TreeNodeId> parents;
+  if (!ReadVec(f, file_size, &levels) || !ReadVec(f, file_size, &parents) ||
+      levels.size() != num_nodes || parents.size() != num_nodes) {
+    return Status::Corruption(path + ": truncated node tables");
+  }
+
+  HcdForest result(static_cast<VertexId>(n));
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    TreeNodeId id = result.NewNode(levels[t]);
+    (void)id;
+  }
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    std::vector<VertexId> verts;
+    if (!ReadVec(f, file_size, &verts)) {
+      return Status::Corruption(path + ": truncated vertex lists");
+    }
+    for (VertexId v : verts) {
+      if (v >= n) return Status::Corruption(path + ": vertex out of range");
+      if (result.Tid(v) != kInvalidNode) {
+        return Status::Corruption(path + ": vertex placed in two nodes");
+      }
+      result.AddVertex(static_cast<TreeNodeId>(t), v);
+    }
+  }
+  for (uint64_t t = 0; t < num_nodes; ++t) {
+    if (parents[t] == kInvalidNode) continue;
+    if (parents[t] >= num_nodes) {
+      return Status::Corruption(path + ": parent out of range");
+    }
+    if (levels[parents[t]] >= levels[t]) {
+      return Status::Corruption(path + ": parent level inversion");
+    }
+    result.SetParent(static_cast<TreeNodeId>(t), parents[t]);
+  }
+  result.BuildChildren();
+  *forest = std::move(result);
+  return Status::Ok();
+}
+
+Status LoadFlatV2Body(std::FILE* f, uint64_t file_size,
+                      const std::string& path, FlatHcdIndex* index) {
+  uint64_t header[kV2HeaderWords - 1];  // magic already consumed
+  if (std::fread(header, sizeof(uint64_t), std::size(header), f) !=
+      std::size(header)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  const uint64_t n = header[0];
+  const uint64_t num_nodes = header[1];
+  const uint64_t num_roots = header[2];
+  const uint64_t num_children = header[3];
+  const uint64_t num_placed = header[4];
+  const uint64_t num_level_groups = header[5];
+  const uint64_t reserved = header[6];
+  if (n >= kInvalidVertex || num_nodes >= kInvalidNode ||
+      num_roots > num_nodes || num_children != num_nodes - num_roots ||
+      num_placed > n || num_level_groups > num_nodes || reserved != 0 ||
+      (num_nodes > 0 && (num_roots == 0 || num_level_groups == 0))) {
+    return Status::Corruption(path + ": implausible header counts");
+  }
+
+  // The header fixes every section size; the whole file size must match
+  // exactly before anything is allocated.
+  const uint64_t expected_size =
+      kV2HeaderBytes +
+      4 * PaddedSectionBytes(num_nodes) +      // levels, parents,
+                                               // subtree_nodes,
+                                               // desc_level_order
+      2 * PaddedSectionBytes(num_nodes + 1) +  // child/vertex offsets
+      PaddedSectionBytes(num_children) + PaddedSectionBytes(num_placed) +
+      PaddedSectionBytes(n) + PaddedSectionBytes(num_level_groups + 1) +
+      PaddedSectionBytes(num_roots);
+  if (expected_size != file_size) {
+    return Status::Corruption(path + ": section sizes do not match file size");
+  }
+
+  FlatHcdIndex::Data d;
+  d.num_vertices = static_cast<VertexId>(n);
+  bool ok = ReadSection(f, num_nodes, &d.levels) &&
+            ReadSection(f, num_nodes, &d.parents) &&
+            ReadSection(f, num_nodes, &d.subtree_nodes) &&
+            ReadSection(f, num_nodes + 1, &d.child_offsets) &&
+            ReadSection(f, num_children, &d.children) &&
+            ReadSection(f, num_nodes + 1, &d.vertex_offsets) &&
+            ReadSection(f, num_placed, &d.vertices) &&
+            ReadSection(f, n, &d.tid) &&
+            ReadSection(f, num_nodes, &d.desc_level_order) &&
+            ReadSection(f, num_level_groups + 1, &d.level_group_offsets) &&
+            ReadSection(f, num_roots, &d.roots);
+  if (!ok) return Status::Corruption(path + ": truncated sections");
+
+  Status s = FlatHcdIndex::Adopt(std::move(d), index);
+  if (!s.ok()) return Status(s.code(), path + ": " + s.message());
+  return Status::Ok();
 }
 
 }  // namespace
@@ -41,7 +218,7 @@ Status SaveForest(const HcdForest& forest, const std::string& path) {
 
   uint64_t n = forest.NumVertices();
   uint64_t num_nodes = forest.NumNodes();
-  bool ok = std::fwrite(&kForestMagic, sizeof(kForestMagic), 1, f.get()) == 1;
+  bool ok = std::fwrite(&kForestMagicV1, sizeof(kForestMagicV1), 1, f.get()) == 1;
   ok = ok && std::fwrite(&n, sizeof(n), 1, f.get()) == 1;
   ok = ok && std::fwrite(&num_nodes, sizeof(num_nodes), 1, f.get()) == 1;
 
@@ -62,51 +239,72 @@ Status SaveForest(const HcdForest& forest, const std::string& path) {
 }
 
 Status LoadForest(const std::string& path, HcdForest* forest) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Status::IoError("cannot open " + path);
+  FilePtr f;
+  uint64_t file_size = 0;
+  HCD_RETURN_IF_ERROR(OpenForRead(path, &f, &file_size));
 
   uint64_t magic = 0;
-  uint64_t n = 0;
-  uint64_t num_nodes = 0;
-  bool ok = std::fread(&magic, sizeof(magic), 1, f.get()) == 1;
-  ok = ok && std::fread(&n, sizeof(n), 1, f.get()) == 1;
-  ok = ok && std::fread(&num_nodes, sizeof(num_nodes), 1, f.get()) == 1;
-  if (!ok) return Status::Corruption(path + ": truncated header");
-  if (magic != kForestMagic) return Status::Corruption(path + ": bad magic");
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (magic == kForestMagicV2) {
+    return Status::InvalidArgument(
+        path + ": v2 flat snapshot; load with LoadFlatIndex");
+  }
+  if (magic != kForestMagicV1) return Status::Corruption(path + ": bad magic");
+  return LoadForestV1Body(f.get(), file_size, path, forest);
+}
 
-  std::vector<uint32_t> levels;
-  std::vector<TreeNodeId> parents;
-  if (!ReadVec(f.get(), &levels) || !ReadVec(f.get(), &parents) ||
-      levels.size() != num_nodes || parents.size() != num_nodes) {
-    return Status::Corruption(path + ": truncated node tables");
-  }
+Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
 
-  HcdForest result(static_cast<VertexId>(n));
-  for (uint64_t t = 0; t < num_nodes; ++t) {
-    TreeNodeId id = result.NewNode(levels[t]);
-    (void)id;
-  }
-  for (uint64_t t = 0; t < num_nodes; ++t) {
-    std::vector<VertexId> verts;
-    if (!ReadVec(f.get(), &verts)) {
-      return Status::Corruption(path + ": truncated vertex lists");
-    }
-    for (VertexId v : verts) {
-      if (v >= n) return Status::Corruption(path + ": vertex out of range");
-      result.AddVertex(static_cast<TreeNodeId>(t), v);
-    }
-  }
-  for (uint64_t t = 0; t < num_nodes; ++t) {
-    if (parents[t] != kInvalidNode) {
-      if (parents[t] >= num_nodes) {
-        return Status::Corruption(path + ": parent out of range");
-      }
-      result.SetParent(static_cast<TreeNodeId>(t), parents[t]);
-    }
-  }
-  result.BuildChildren();
-  *forest = std::move(result);
+  const FlatHcdIndex::Data& d = index.data();
+  const uint64_t header[kV2HeaderWords] = {
+      kForestMagicV2,
+      d.num_vertices,
+      d.levels.size(),
+      d.roots.size(),
+      d.children.size(),
+      d.vertices.size(),
+      index.NumLevelGroups(),
+      0,  // reserved
+  };
+  bool ok = std::fwrite(header, sizeof(uint64_t), kV2HeaderWords, f.get()) ==
+            kV2HeaderWords;
+  ok = ok && WriteSection(f.get(), d.levels) &&
+       WriteSection(f.get(), d.parents) &&
+       WriteSection(f.get(), d.subtree_nodes) &&
+       WriteSection(f.get(), d.child_offsets) &&
+       WriteSection(f.get(), d.children) &&
+       WriteSection(f.get(), d.vertex_offsets) &&
+       WriteSection(f.get(), d.vertices) && WriteSection(f.get(), d.tid) &&
+       WriteSection(f.get(), d.desc_level_order) &&
+       WriteSection(f.get(), d.level_group_offsets) &&
+       WriteSection(f.get(), d.roots);
+  if (!ok) return Status::IoError("short write to " + path);
   return Status::Ok();
+}
+
+Status LoadFlatIndex(const std::string& path, FlatHcdIndex* index) {
+  FilePtr f;
+  uint64_t file_size = 0;
+  HCD_RETURN_IF_ERROR(OpenForRead(path, &f, &file_size));
+
+  uint64_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (magic == kForestMagicV2) {
+    return LoadFlatV2Body(f.get(), file_size, path, index);
+  }
+  if (magic == kForestMagicV1) {
+    HcdForest forest;
+    HCD_RETURN_IF_ERROR(LoadForestV1Body(f.get(), file_size, path, &forest));
+    *index = Freeze(std::move(forest));
+    return Status::Ok();
+  }
+  return Status::Corruption(path + ": bad magic");
 }
 
 }  // namespace hcd

@@ -4,16 +4,41 @@
 #include <string>
 
 #include "common/status.h"
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 
 namespace hcd {
 
-/// Writes a versioned binary snapshot of the forest (levels, parents and
+/// Snapshot formats
+/// ----------------
+/// v1 ("HCDFOR01"): builder-shaped stream — header, level/parent tables,
+/// then one length-prefixed vertex list per node. Kept for backward
+/// compatibility; new snapshots are always v2.
+///
+/// v2 ("HCDFOR02"): the FlatHcdIndex layout itself. A fixed 64-byte header
+/// (magic + section element counts) followed by the index's arrays written
+/// verbatim, each section padded to 8-byte alignment. Loading is a handful
+/// of bulk reads (mmap-friendly: every section sits at a computable aligned
+/// offset) funneled through FlatHcdIndex::Adopt, which validates all
+/// structural invariants, so corrupt files of either version yield
+/// Status::Corruption — never an abort.
+
+/// Writes a v1 builder-shaped snapshot of the forest (levels, parents and
 /// vertex memberships; children are rebuilt on load).
 Status SaveForest(const HcdForest& forest, const std::string& path);
 
-/// Loads a forest written by SaveForest.
+/// Loads a v1 forest snapshot written by SaveForest. Rejects v2 files
+/// (use LoadFlatIndex) and corrupt v1 files with a non-ok Status.
 Status LoadForest(const std::string& path, HcdForest* forest);
+
+/// Writes a v2 flat snapshot. Byte-for-byte deterministic: saving a loaded
+/// index reproduces the input file exactly.
+Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path);
+
+/// Loads a snapshot of either version into a flat index: v2 files are read
+/// section-by-section as whole arrays; v1 files are loaded as a forest and
+/// converted via Freeze (the migration path).
+Status LoadFlatIndex(const std::string& path, FlatHcdIndex* index);
 
 }  // namespace hcd
 

@@ -4,8 +4,10 @@
 #include <sstream>
 
 namespace hcd {
+namespace {
 
-ForestStats ComputeForestStats(const HcdForest& forest) {
+template <typename Hierarchy>
+ForestStats ComputeForestStatsImpl(const Hierarchy& forest) {
   ForestStats stats;
   stats.num_nodes = forest.NumNodes();
   if (stats.num_nodes == 0) return stats;
@@ -26,7 +28,7 @@ ForestStats ComputeForestStats(const HcdForest& forest) {
   // Depth via one pass in ascending-level order: a parent's depth is final
   // before any of its (strictly higher-level) children are visited.
   std::vector<uint32_t> depth(forest.NumNodes(), 1);
-  std::vector<TreeNodeId> order = forest.NodesByDescendingLevel();
+  const auto order = forest.NodesByDescendingLevel();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TreeNodeId t = *it;
     const TreeNodeId p = forest.Parent(t);
@@ -34,6 +36,16 @@ ForestStats ComputeForestStats(const HcdForest& forest) {
     stats.depth = std::max(stats.depth, depth[t]);
   }
   return stats;
+}
+
+}  // namespace
+
+ForestStats ComputeForestStats(const HcdForest& forest) {
+  return ComputeForestStatsImpl(forest);
+}
+
+ForestStats ComputeForestStats(const FlatHcdIndex& index) {
+  return ComputeForestStatsImpl(index);
 }
 
 std::string ForestStatsToString(const ForestStats& stats) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 
 namespace hcd {
@@ -27,8 +28,10 @@ struct ForestStats {
   std::vector<uint64_t> elements_per_level;
 };
 
-/// Computes the statistics in O(|T| + n).
+/// Computes the statistics in O(|T| + n). Accepts either the builder
+/// forest or the frozen index.
 ForestStats ComputeForestStats(const HcdForest& forest);
+ForestStats ComputeForestStats(const FlatHcdIndex& index);
 
 /// Multi-line human-readable rendering of the statistics.
 std::string ForestStatsToString(const ForestStats& stats);

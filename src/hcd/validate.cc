@@ -7,15 +7,19 @@
 namespace hcd {
 namespace {
 
-std::string NodeDesc(const HcdForest& forest, TreeNodeId node) {
+// The checks below are written once against the accessor surface the two
+// representations share (Level/Parent/Children/Vertices/Tid/CoreVertices)
+// and instantiated for both.
+
+template <typename Hierarchy>
+std::string NodeDesc(const Hierarchy& forest, TreeNodeId node) {
   return "node " + std::to_string(node) + " (level " +
          std::to_string(forest.Level(node)) + ")";
 }
 
-}  // namespace
-
-Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
-                   const HcdForest& forest) {
+template <typename Hierarchy>
+Status ValidateHcdImpl(const Graph& graph, const CoreDecomposition& cd,
+                       const Hierarchy& forest) {
   const VertexId n = graph.NumVertices();
   if (forest.NumVertices() != n) {
     return Status::Corruption("forest vertex count mismatch");
@@ -72,7 +76,7 @@ Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
   std::vector<VertexId> stack;
   for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
     const uint32_t k = forest.Level(t);
-    std::vector<VertexId> core = forest.CoreVertices(t);
+    const auto core = forest.CoreVertices(t);
     for (VertexId v : core) in_core[v] = true;
 
     // Min internal degree and maximality.
@@ -119,7 +123,8 @@ Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
   return Status::Ok();
 }
 
-bool HcdEquals(const HcdForest& a, const HcdForest& b) {
+template <typename HierarchyA, typename HierarchyB>
+bool HcdEqualsImpl(const HierarchyA& a, const HierarchyB& b) {
   if (a.NumVertices() != b.NumVertices()) return false;
   if (a.NumNodes() != b.NumNodes()) return false;
   const VertexId n = a.NumVertices();
@@ -149,6 +154,30 @@ bool HcdEquals(const HcdForest& a, const HcdForest& b) {
     }
   }
   return true;
+}
+
+}  // namespace
+
+Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
+                   const HcdForest& forest) {
+  return ValidateHcdImpl(graph, cd, forest);
+}
+
+Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
+                   const FlatHcdIndex& index) {
+  return ValidateHcdImpl(graph, cd, index);
+}
+
+bool HcdEquals(const HcdForest& a, const HcdForest& b) {
+  return HcdEqualsImpl(a, b);
+}
+
+bool HcdEquals(const HcdForest& a, const FlatHcdIndex& b) {
+  return HcdEqualsImpl(a, b);
+}
+
+bool HcdEquals(const FlatHcdIndex& a, const FlatHcdIndex& b) {
+  return HcdEqualsImpl(a, b);
 }
 
 }  // namespace hcd

@@ -4,11 +4,12 @@
 #include "common/status.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 
 namespace hcd {
 
-/// Checks every HCD invariant of `forest` against `graph` and `cd`:
+/// Checks every HCD invariant of the hierarchy against `graph` and `cd`:
 ///  - every vertex belongs to exactly one node whose level equals its
 ///    coreness;
 ///  - parent levels are strictly below child levels;
@@ -17,13 +18,20 @@ namespace hcd {
 ///    maximal (no adjacent coreness>=k vertex outside it).
 /// Returns OK or a Corruption status describing the first violation.
 /// O(sum of core sizes) = O(k_max * m) worst case; intended for tests.
+/// Both the builder forest and the frozen index are accepted.
 Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
                    const HcdForest& forest);
+Status ValidateHcd(const Graph& graph, const CoreDecomposition& cd,
+                   const FlatHcdIndex& index);
 
 /// Structural equality of two HCDs over the same vertex set: identical
 /// node partition (as {level, vertex set}) and identical parent relation.
-/// Node ids and vertex orders inside nodes may differ.
+/// Node ids and vertex orders inside nodes may differ, so a forest can be
+/// compared against its own frozen index (or two different builders'
+/// outputs against each other).
 bool HcdEquals(const HcdForest& a, const HcdForest& b);
+bool HcdEquals(const HcdForest& a, const FlatHcdIndex& b);
+bool HcdEquals(const FlatHcdIndex& a, const FlatHcdIndex& b);
 
 }  // namespace hcd
 

@@ -22,10 +22,12 @@ struct SerialTallies {
         triplets(num_nodes, 0) {}
 };
 
-/// Serial bottom-up accumulation in descending level order.
-void AccumulateUpSerial(const HcdForest& forest, SerialTallies* t) {
-  for (TreeNodeId node : forest.NodesByDescendingLevel()) {
-    const TreeNodeId pa = forest.Parent(node);
+/// Serial bottom-up accumulation. In the frozen index children always
+/// follow their parent (preorder), so a single descending-id sweep is a
+/// valid bottom-up schedule — no level order needed.
+void AccumulateUpSerial(const FlatHcdIndex& index, SerialTallies* t) {
+  for (TreeNodeId node = index.NumNodes(); node-- > 1;) {
+    const TreeNodeId pa = index.Parent(node);
     if (pa == kInvalidNode) continue;
     t->n_s[pa] += t->n_s[node];
     t->edges2[pa] += t->edges2[node];
@@ -90,10 +92,10 @@ BksIndex BuildBksIndex(const Graph& graph, const CoreDecomposition& cd) {
 
 std::vector<PrimaryValues> BksTypeAPrimary(const Graph& graph,
                                            const CoreDecomposition& cd,
-                                           const HcdForest& forest,
+                                           const FlatHcdIndex& hcd_index,
                                            const BksIndex& index,
                                            const VertexRank& vr) {
-  SerialTallies t(forest.NumNodes());
+  SerialTallies t(hcd_index.NumNodes());
   // Descending coreness, the incremental order of BKS.
   for (VertexId i = static_cast<VertexId>(vr.sorted.size()); i-- > 0;) {
     const VertexId v = vr.sorted[i];
@@ -111,22 +113,22 @@ std::vector<PrimaryValues> BksTypeAPrimary(const Graph& graph,
       ++j;
     }
     const int64_t lt = static_cast<int64_t>(nbrs.size()) - gt - eq;
-    const TreeNodeId node = forest.Tid(v);
+    const TreeNodeId node = hcd_index.Tid(v);
     t.n_s[node] += 1;
     t.edges2[node] += 2 * gt + eq;
     t.boundary[node] += lt - gt;
   }
-  AccumulateUpSerial(forest, &t);
+  AccumulateUpSerial(hcd_index, &t);
   return ToPrimaryValues(t);
 }
 
 std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
                                            const CoreDecomposition& cd,
-                                           const HcdForest& forest,
+                                           const FlatHcdIndex& hcd_index,
                                            const BksIndex& index,
                                            const VertexRank& vr) {
   const VertexId n = graph.NumVertices();
-  SerialTallies t(forest.NumNodes());
+  SerialTallies t(hcd_index.NumNodes());
   const std::vector<VertexId>& rank = vr.rank;
 
   auto degree_less = [&graph](VertexId a, VertexId b) {
@@ -145,7 +147,7 @@ std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
       if (!degree_less(u, v)) continue;
       for (VertexId w : graph.Neighbors(u)) {
         if (mark[w] && rank[w] < rank[u] && rank[w] < rank[v]) {
-          t.triangles[forest.Tid(w)] += 1;
+          t.triangles[hcd_index.Tid(w)] += 1;
         }
       }
     }
@@ -161,7 +163,7 @@ std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
       ++gt_k;
       ++j;
     }
-    t.triplets[forest.Tid(v)] += Choose2(gt_k);
+    t.triplets[hcd_index.Tid(v)] += Choose2(gt_k);
     while (j < snbrs.size()) {
       const uint32_t k = cd.coreness[snbrs[j]];
       const VertexId rep = snbrs[j];
@@ -170,26 +172,26 @@ std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
         ++cnt;
         ++j;
       }
-      t.triplets[forest.Tid(rep)] += Choose2(cnt) + gt_k * cnt;
+      t.triplets[hcd_index.Tid(rep)] += Choose2(cnt) + gt_k * cnt;
       gt_k += cnt;
     }
   }
-  AccumulateUpSerial(forest, &t);
+  AccumulateUpSerial(hcd_index, &t);
   return ToPrimaryValues(t);
 }
 
 SearchResult BksSearch(const Graph& graph, const CoreDecomposition& cd,
-                       const HcdForest& forest, Metric metric) {
+                       const FlatHcdIndex& hcd_index, Metric metric) {
   const BksIndex index = BuildBksIndex(graph, cd);
   const VertexRank vr = ComputeVertexRank(cd);
   const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
   std::vector<PrimaryValues> primary =
-      IsTypeB(metric) ? BksTypeBPrimary(graph, cd, forest, index, vr)
-                      : BksTypeAPrimary(graph, cd, forest, index, vr);
+      IsTypeB(metric) ? BksTypeBPrimary(graph, cd, hcd_index, index, vr)
+                      : BksTypeAPrimary(graph, cd, hcd_index, index, vr);
 
   SearchResult result;
-  result.scores.resize(forest.NumNodes());
-  for (TreeNodeId i = 0; i < forest.NumNodes(); ++i) {
+  result.scores.resize(hcd_index.NumNodes());
+  for (TreeNodeId i = 0; i < hcd_index.NumNodes(); ++i) {
     result.scores[i] = EvaluateMetric(metric, primary[i], globals);
     if (result.best_node == kInvalidNode ||
         result.scores[i] > result.best_score) {

@@ -5,7 +5,7 @@
 
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
-#include "hcd/forest.h"
+#include "hcd/flat_index.h"
 #include "hcd/vertex_rank.h"
 #include "search/metrics.h"
 #include "search/pbks.h"
@@ -29,7 +29,7 @@ BksIndex BuildBksIndex(const Graph& graph, const CoreDecomposition& cd);
 /// descending-k incremental score computation.
 std::vector<PrimaryValues> BksTypeAPrimary(const Graph& graph,
                                            const CoreDecomposition& cd,
-                                           const HcdForest& forest,
+                                           const FlatHcdIndex& hcd_index,
                                            const BksIndex& index,
                                            const VertexRank& vr);
 
@@ -39,14 +39,14 @@ std::vector<PrimaryValues> BksTypeAPrimary(const Graph& graph,
 /// per-coreness neighbor groups without scratch arrays). O(m^1.5).
 std::vector<PrimaryValues> BksTypeBPrimary(const Graph& graph,
                                            const CoreDecomposition& cd,
-                                           const HcdForest& forest,
+                                           const FlatHcdIndex& hcd_index,
                                            const BksIndex& index,
                                            const VertexRank& vr);
 
 /// One-call serial subgraph search (BKS; Opt-D in Table IV when used with
 /// the average-degree metric).
 SearchResult BksSearch(const Graph& graph, const CoreDecomposition& cd,
-                       const HcdForest& forest, Metric metric);
+                       const FlatHcdIndex& hcd_index, Metric metric);
 
 }  // namespace hcd
 

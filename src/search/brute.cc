@@ -5,7 +5,7 @@
 namespace hcd {
 
 PrimaryValues BrutePrimaryValues(const Graph& graph,
-                                 const std::vector<VertexId>& vertices) {
+                                 std::span<const VertexId> vertices) {
   std::vector<bool> in(graph.NumVertices(), false);
   for (VertexId v : vertices) in[v] = true;
 
@@ -34,10 +34,10 @@ PrimaryValues BrutePrimaryValues(const Graph& graph,
 }
 
 std::vector<PrimaryValues> BruteNodePrimaryValues(const Graph& graph,
-                                                  const HcdForest& forest) {
-  std::vector<PrimaryValues> out(forest.NumNodes());
-  for (TreeNodeId t = 0; t < forest.NumNodes(); ++t) {
-    out[t] = BrutePrimaryValues(graph, forest.CoreVertices(t));
+                                                  const FlatHcdIndex& index) {
+  std::vector<PrimaryValues> out(index.NumNodes());
+  for (TreeNodeId t = 0; t < index.NumNodes(); ++t) {
+    out[t] = BrutePrimaryValues(graph, index.CoreVertices(t));
   }
   return out;
 }

@@ -1,11 +1,12 @@
 #ifndef HCD_SEARCH_BRUTE_H_
 #define HCD_SEARCH_BRUTE_H_
 
+#include <span>
 #include <vector>
 
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
-#include "hcd/forest.h"
+#include "hcd/flat_index.h"
 #include "search/metrics.h"
 
 namespace hcd {
@@ -14,12 +15,12 @@ namespace hcd {
 /// from the graph (explicit edge, boundary, triangle and wedge counting).
 /// O(sum of d(v)^2) over the set; for tests.
 PrimaryValues BrutePrimaryValues(const Graph& graph,
-                                 const std::vector<VertexId>& vertices);
+                                 std::span<const VertexId> vertices);
 
 /// Primary values of every tree node's original k-core via
 /// BrutePrimaryValues; the ground truth for PBKS/BKS in tests.
 std::vector<PrimaryValues> BruteNodePrimaryValues(const Graph& graph,
-                                                  const HcdForest& forest);
+                                                  const FlatHcdIndex& index);
 
 }  // namespace hcd
 

@@ -21,12 +21,13 @@ double AverageDegreeOf(const Graph& graph,
 }  // namespace
 
 DenseSubgraph PbksDensest(const Graph& graph, const CoreDecomposition& cd,
-                          const HcdForest& forest) {
-  SubgraphSearcher searcher(graph, cd, forest);
+                          const FlatHcdIndex& index) {
+  SubgraphSearcher searcher(graph, cd, index);
   const SearchResult result = searcher.Search(Metric::kAverageDegree);
   DenseSubgraph out;
   if (result.best_node == kInvalidNode) return out;
-  out.vertices = searcher.CoreVertices(result);
+  const std::span<const VertexId> verts = searcher.CoreVertices(result);
+  out.vertices.assign(verts.begin(), verts.end());
   out.average_degree = result.best_score;
   return out;
 }

@@ -5,7 +5,7 @@
 
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
-#include "hcd/forest.h"
+#include "hcd/flat_index.h"
 
 namespace hcd {
 
@@ -20,7 +20,7 @@ struct DenseSubgraph {
 /// on the HCD with PBKS. 0.5-approximation for the densest subgraph (it
 /// never scores below the k_max-core). Parallel.
 DenseSubgraph PbksDensest(const Graph& graph, const CoreDecomposition& cd,
-                          const HcdForest& forest);
+                          const FlatHcdIndex& index);
 
 /// Core-based approximate densest subgraph in the style of CoreApp
 /// (Fang et al., the paper's Table IV baseline): returns the best connected

@@ -27,22 +27,18 @@ struct NodeTallies {
 };
 
 /// Parallel bottom-up tree accumulation (Algorithm 3 lines 6-9): processes
-/// level groups in descending order; nodes inside a group accumulate into
-/// their parents concurrently (atomics: two same-level nodes may share a
-/// parent). When a node's group is reached, all its children (strictly
-/// higher levels) are final.
-void AccumulateUp(const HcdForest& forest, NodeTallies* t) {
-  const std::vector<TreeNodeId> order = forest.NodesByDescendingLevel();
-  size_t i = 0;
-  while (i < order.size()) {
-    size_t j = i;
-    const uint32_t level = forest.Level(order[i]);
-    while (j < order.size() && forest.Level(order[j]) == level) ++j;
+/// the index's precomputed level groups in descending order; nodes inside a
+/// group accumulate into their parents concurrently (atomics: two
+/// same-level nodes may share a parent). When a node's group is reached,
+/// all its children (strictly higher levels) are final. No sort and no
+/// group-boundary scan — the frozen index ships both.
+void AccumulateUp(const FlatHcdIndex& index, NodeTallies* t) {
+  for (size_t g = 0; g < index.NumLevelGroups(); ++g) {
+    const std::span<const TreeNodeId> group = index.LevelGroup(g);
 #pragma omp parallel for schedule(static)
-    for (int64_t idx = static_cast<int64_t>(i); idx < static_cast<int64_t>(j);
-         ++idx) {
-      const TreeNodeId node = order[idx];
-      const TreeNodeId pa = forest.Parent(node);
+    for (int64_t idx = 0; idx < static_cast<int64_t>(group.size()); ++idx) {
+      const TreeNodeId node = group[idx];
+      const TreeNodeId pa = index.Parent(node);
       if (pa == kInvalidNode) continue;
 #pragma omp atomic
       t->n_s[pa] += t->n_s[node];
@@ -55,7 +51,6 @@ void AccumulateUp(const HcdForest& forest, NodeTallies* t) {
 #pragma omp atomic
       t->triplets[pa] += t->triplets[node];
     }
-    i = j;
   }
 }
 
@@ -80,9 +75,9 @@ inline int64_t Choose2(int64_t x) { return x * (x - 1) / 2; }
 
 std::vector<PrimaryValues> PbksTypeAPrimary(
     const Graph& graph, const CoreDecomposition& /*cd*/,
-    const HcdForest& forest, const CorenessNeighborCounts& pre) {
+    const FlatHcdIndex& index, const CorenessNeighborCounts& pre) {
   const VertexId n = graph.NumVertices();
-  NodeTallies t(forest.NumNodes());
+  NodeTallies t(index.NumNodes());
 
   // Algorithm 4 lines 2-9: per-vertex contributions. Each vertex counts the
   // edges whose lowest-rank endpoint it is: all edges to greater coreness,
@@ -94,7 +89,7 @@ std::vector<PrimaryValues> PbksTypeAPrimary(
     const int64_t gt = pre.greater[v];
     const int64_t eq = pre.equal[v];
     const int64_t lt = static_cast<int64_t>(graph.Degree(v)) - gt - eq;
-    const TreeNodeId i = forest.Tid(v);
+    const TreeNodeId i = index.Tid(v);
 #pragma omp atomic
     t.n_s[i] += 1;
 #pragma omp atomic
@@ -103,15 +98,15 @@ std::vector<PrimaryValues> PbksTypeAPrimary(
     t.boundary[i] += lt - gt;
   }
 
-  AccumulateUp(forest, &t);
+  AccumulateUp(index, &t);
   return ToPrimaryValues(t);
 }
 
 std::vector<PrimaryValues> PbksTypeBPrimary(
-    const Graph& graph, const CoreDecomposition& cd, const HcdForest& forest,
+    const Graph& graph, const CoreDecomposition& cd, const FlatHcdIndex& index,
     const VertexRank& vr, const CorenessNeighborCounts& pre) {
   const VertexId n = graph.NumVertices();
-  NodeTallies t(forest.NumNodes());
+  NodeTallies t(index.NumNodes());
   const std::vector<VertexId>& rank = vr.rank;
 
   // Ordering of Algorithm 5 line 4: enumerate each edge once, from the
@@ -141,7 +136,7 @@ std::vector<PrimaryValues> PbksTypeBPrimary(
         if (!degree_less(u, v)) continue;
         for (VertexId w : graph.Neighbors(u)) {
           if (mark[w] && rank[w] < rank[u] && rank[w] < rank[v]) {
-            const TreeNodeId i = forest.Tid(w);
+            const TreeNodeId i = index.Tid(w);
 #pragma omp atomic
             t.triangles[i] += 1;
           }
@@ -156,7 +151,7 @@ std::vector<PrimaryValues> PbksTypeBPrimary(
       const uint32_t cv = cd.coreness[v];
       int64_t gt_k = static_cast<int64_t>(pre.greater[v]) + pre.equal[v];
       {
-        const TreeNodeId i = forest.Tid(v);
+        const TreeNodeId i = index.Tid(v);
         const int64_t add = Choose2(gt_k);
         if (add != 0) {
 #pragma omp atomic
@@ -174,7 +169,7 @@ std::vector<PrimaryValues> PbksTypeBPrimary(
         for (int64_t k = static_cast<int64_t>(cv) - 1; k >= 0; --k) {
           const int64_t c = cnt[k];
           if (c > 0) {
-            const TreeNodeId i = forest.Tid(rep[k]);
+            const TreeNodeId i = index.Tid(rep[k]);
             const int64_t add = Choose2(c) + gt_k * c;
 #pragma omp atomic
             t.triplets[i] += add;
@@ -186,20 +181,20 @@ std::vector<PrimaryValues> PbksTypeBPrimary(
     }
   }
 
-  AccumulateUp(forest, &t);
+  AccumulateUp(index, &t);
   return ToPrimaryValues(t);
 }
 
-SearchResult ScoreNodes(const HcdForest& forest, Metric metric,
+SearchResult ScoreNodes(const FlatHcdIndex& index, Metric metric,
                         const std::vector<PrimaryValues>& accumulated,
                         const GraphGlobals& globals) {
   SearchResult result;
-  result.scores.resize(forest.NumNodes());
+  result.scores.resize(index.NumNodes());
 #pragma omp parallel for schedule(static)
-  for (int64_t i = 0; i < static_cast<int64_t>(forest.NumNodes()); ++i) {
+  for (int64_t i = 0; i < static_cast<int64_t>(index.NumNodes()); ++i) {
     result.scores[i] = EvaluateMetric(metric, accumulated[i], globals);
   }
-  for (TreeNodeId i = 0; i < forest.NumNodes(); ++i) {
+  for (TreeNodeId i = 0; i < index.NumNodes(); ++i) {
     if (result.best_node == kInvalidNode ||
         result.scores[i] > result.best_score) {
       result.best_node = i;
@@ -210,15 +205,15 @@ SearchResult ScoreNodes(const HcdForest& forest, Metric metric,
 }
 
 SearchResult PbksSearch(const Graph& graph, const CoreDecomposition& cd,
-                        const HcdForest& forest, Metric metric) {
+                        const FlatHcdIndex& index, Metric metric) {
   const CorenessNeighborCounts pre = PreprocessCorenessCounts(graph, cd);
   const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
   if (IsTypeB(metric)) {
     const VertexRank vr = ComputeVertexRank(cd);
-    return ScoreNodes(forest, metric,
-                      PbksTypeBPrimary(graph, cd, forest, vr, pre), globals);
+    return ScoreNodes(index, metric,
+                      PbksTypeBPrimary(graph, cd, index, vr, pre), globals);
   }
-  return ScoreNodes(forest, metric, PbksTypeAPrimary(graph, cd, forest, pre),
+  return ScoreNodes(index, metric, PbksTypeAPrimary(graph, cd, index, pre),
                     globals);
 }
 

@@ -5,7 +5,7 @@
 
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
-#include "hcd/forest.h"
+#include "hcd/flat_index.h"
 #include "hcd/vertex_rank.h"
 #include "search/metrics.h"
 #include "search/preprocess.h"
@@ -13,7 +13,9 @@
 namespace hcd {
 
 /// Result of a subgraph search: the best k-core (as a tree node of the HCD)
-/// plus the score of every k-core.
+/// plus the score of every k-core. Node ids are FlatHcdIndex preorder ids —
+/// the whole search layer runs on the frozen index, never on the builder
+/// forest.
 struct SearchResult {
   TreeNodeId best_node = kInvalidNode;
   double best_score = 0.0;
@@ -29,7 +31,7 @@ struct SearchResult {
 /// after preprocessing.
 std::vector<PrimaryValues> PbksTypeAPrimary(const Graph& graph,
                                             const CoreDecomposition& cd,
-                                            const HcdForest& forest,
+                                            const FlatHcdIndex& index,
                                             const CorenessNeighborCounts& pre);
 
 /// Type-B primary values of every k-core (Algorithm 5): parallel triangle
@@ -39,13 +41,13 @@ std::vector<PrimaryValues> PbksTypeAPrimary(const Graph& graph,
 /// node i's original k-core. O(m^1.5) work.
 std::vector<PrimaryValues> PbksTypeBPrimary(const Graph& graph,
                                             const CoreDecomposition& cd,
-                                            const HcdForest& forest,
+                                            const FlatHcdIndex& index,
                                             const VertexRank& vr,
                                             const CorenessNeighborCounts& pre);
 
 /// Evaluates `metric` on every node's accumulated primary values and
 /// returns all scores plus the best k-core (Algorithm 3's final step).
-SearchResult ScoreNodes(const HcdForest& forest, Metric metric,
+SearchResult ScoreNodes(const FlatHcdIndex& index, Metric metric,
                         const std::vector<PrimaryValues>& accumulated,
                         const GraphGlobals& globals);
 
@@ -54,7 +56,7 @@ SearchResult ScoreNodes(const HcdForest& forest, Metric metric,
 /// evaluating several metrics should use SubgraphSearcher (searcher.h) to
 /// reuse the preprocessing and primary values.
 SearchResult PbksSearch(const Graph& graph, const CoreDecomposition& cd,
-                        const HcdForest& forest, Metric metric);
+                        const FlatHcdIndex& index, Metric metric);
 
 }  // namespace hcd
 

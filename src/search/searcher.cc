@@ -14,10 +14,11 @@ CorenessNeighborCounts TimedPreprocess(const Graph& graph,
 
 SubgraphSearcher::SubgraphSearcher(const Graph& graph,
                                    const CoreDecomposition& cd,
-                                   const HcdForest& forest, TelemetrySink* sink)
+                                   const FlatHcdIndex& index,
+                                   TelemetrySink* sink)
     : graph_(graph),
       cd_(cd),
-      forest_(forest),
+      index_(index),
       sink_(sink),
       pre_(TimedPreprocess(graph, cd, sink)),
       globals_{graph.NumVertices(), graph.NumEdges()} {}
@@ -25,7 +26,7 @@ SubgraphSearcher::SubgraphSearcher(const Graph& graph,
 const std::vector<PrimaryValues>& SubgraphSearcher::TypeAPrimary() {
   if (!type_a_) {
     ScopedStage stage(sink_, "search.primary_a");
-    type_a_ = PbksTypeAPrimary(graph_, cd_, forest_, pre_);
+    type_a_ = PbksTypeAPrimary(graph_, cd_, index_, pre_);
   }
   return *type_a_;
 }
@@ -34,7 +35,7 @@ const std::vector<PrimaryValues>& SubgraphSearcher::TypeBPrimary() {
   if (!type_b_) {
     ScopedStage stage(sink_, "search.primary_b");
     if (!vr_) vr_ = ComputeVertexRank(cd_);
-    type_b_ = PbksTypeBPrimary(graph_, cd_, forest_, *vr_, pre_);
+    type_b_ = PbksTypeBPrimary(graph_, cd_, index_, *vr_, pre_);
   }
   return *type_b_;
 }
@@ -43,15 +44,15 @@ SearchResult SubgraphSearcher::Search(Metric metric) {
   const std::vector<PrimaryValues>& primary =
       IsTypeB(metric) ? TypeBPrimary() : TypeAPrimary();
   ScopedStage stage(sink_, "search.score");
-  SearchResult result = ScoreNodes(forest_, metric, primary, globals_);
-  stage.AddCounter("nodes", forest_.NumNodes());
+  SearchResult result = ScoreNodes(index_, metric, primary, globals_);
+  stage.AddCounter("nodes", index_.NumNodes());
   return result;
 }
 
-std::vector<VertexId> SubgraphSearcher::CoreVertices(
+std::span<const VertexId> SubgraphSearcher::CoreVertices(
     const SearchResult& result) const {
   if (result.best_node == kInvalidNode) return {};
-  return forest_.CoreVertices(result.best_node);
+  return index_.CoreVertices(result.best_node);
 }
 
 }  // namespace hcd

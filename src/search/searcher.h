@@ -7,7 +7,7 @@
 #include "common/telemetry.h"
 #include "core/core_decomposition.h"
 #include "graph/graph.h"
-#include "hcd/forest.h"
+#include "hcd/flat_index.h"
 #include "hcd/vertex_rank.h"
 #include "search/metrics.h"
 #include "search/pbks.h"
@@ -20,7 +20,7 @@ namespace hcd {
 /// primary values, so scoring several metrics over the same HCD costs one
 /// primary-value pass per type plus O(|T|) per metric.
 ///
-/// The referenced graph, decomposition and forest must outlive the
+/// The referenced graph, decomposition and frozen index must outlive the
 /// searcher; so must the sink, when one is given. With a sink, the
 /// constructor records a "search.preprocess" stage, the primary-value
 /// passes record "search.primary_a" / "search.primary_b" on first use, and
@@ -28,7 +28,7 @@ namespace hcd {
 class SubgraphSearcher {
  public:
   SubgraphSearcher(const Graph& graph, const CoreDecomposition& cd,
-                   const HcdForest& forest, TelemetrySink* sink = nullptr);
+                   const FlatHcdIndex& index, TelemetrySink* sink = nullptr);
 
   SubgraphSearcher(const SubgraphSearcher&) = delete;
   SubgraphSearcher& operator=(const SubgraphSearcher&) = delete;
@@ -36,8 +36,9 @@ class SubgraphSearcher {
   /// Best k-core and all scores under `metric` (parallel).
   SearchResult Search(Metric metric);
 
-  /// Vertices of the best k-core found by a search.
-  std::vector<VertexId> CoreVertices(const SearchResult& result) const;
+  /// Vertices of the best k-core found by a search: an O(1) view into the
+  /// frozen index's preorder vertex array (empty if nothing was found).
+  std::span<const VertexId> CoreVertices(const SearchResult& result) const;
 
   /// Accumulated primary values per tree node (computes on first use).
   const std::vector<PrimaryValues>& TypeAPrimary();
@@ -46,7 +47,7 @@ class SubgraphSearcher {
  private:
   const Graph& graph_;
   const CoreDecomposition& cd_;
-  const HcdForest& forest_;
+  const FlatHcdIndex& index_;
   TelemetrySink* sink_;
   CorenessNeighborCounts pre_;
   GraphGlobals globals_;

@@ -5,6 +5,7 @@
 #include "core/core_decomposition.h"
 #include "graph/generators.h"
 #include "graph/subgraph.h"
+#include "hcd/flat_index.h"
 #include "hcd/naive_hcd.h"
 #include "search/densest.h"
 #include "search/max_clique.h"
@@ -25,9 +26,9 @@ TEST_P(DensestSuite, ReportedDensityMatchesSubgraph) {
   const Graph& g = GetParam().graph;
   if (g.NumVertices() == 0) return;
   CoreDecomposition cd = BzCoreDecomposition(g);
-  HcdForest f = NaiveHcdBuild(g, cd);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
 
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   EXPECT_NEAR(pbks.average_degree, InducedAverageDegree(g, pbks.vertices),
               1e-9);
   DenseSubgraph coreapp = CoreAppDensest(g, cd);
@@ -42,8 +43,8 @@ TEST_P(DensestSuite, PbksDNeverWorseThanCoreApp) {
   const Graph& g = GetParam().graph;
   if (g.NumEdges() == 0) return;
   CoreDecomposition cd = BzCoreDecomposition(g);
-  HcdForest f = NaiveHcdBuild(g, cd);
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   DenseSubgraph coreapp = CoreAppDensest(g, cd);
   EXPECT_GE(pbks.average_degree, coreapp.average_degree - 1e-9);
 }
@@ -53,8 +54,8 @@ TEST_P(DensestSuite, HalfApproximationHolds) {
   const Graph& g = GetParam().graph;
   if (g.NumEdges() == 0) return;
   CoreDecomposition cd = BzCoreDecomposition(g);
-  HcdForest f = NaiveHcdBuild(g, cd);
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   EXPECT_GE(pbks.average_degree + 1e-9, static_cast<double>(cd.k_max));
   DenseSubgraph peel = CharikarPeelingDensest(g);
   EXPECT_GE(pbks.average_degree + 1e-9, peel.average_degree / 2.0);
@@ -103,8 +104,8 @@ TEST(GreedyPlusPlus, ExactOnPlantedCliquePlusNoise) {
 TEST(Densest, PaperExampleFindsS31) {
   Graph g = PaperFigure1Graph();
   CoreDecomposition cd = BzCoreDecomposition(g);
-  HcdForest f = NaiveHcdBuild(g, cd);
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   EXPECT_EQ(pbks.vertices.size(), 9u);
   EXPECT_NEAR(pbks.average_degree, 40.0 / 9.0, 1e-12);
   // CoreApp returns the 4-core (octahedron), average degree exactly 4.
@@ -170,8 +171,8 @@ TEST(MaxClique, ContainedInDensestCoreOnCliqueHeavyGraphs) {
   // k-core is one clique, which is exactly where the maximum clique lives.
   Graph g = RingOfCliques(6, 7);
   CoreDecomposition cd = BzCoreDecomposition(g);
-  HcdForest f = NaiveHcdBuild(g, cd);
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   std::vector<VertexId> mc = MaxClique(g, cd);
   std::vector<VertexId> sorted(pbks.vertices);
   std::sort(sorted.begin(), sorted.end());

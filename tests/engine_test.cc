@@ -57,11 +57,13 @@ TEST(EngineTest, StagesAreMemoized) {
   const CoreDecomposition* cd = &engine.Coreness();
   const VertexRank* rank = &engine.Rank();
   const HcdForest* forest = &engine.Forest();
+  const FlatHcdIndex* flat = &engine.Flat();
   SubgraphSearcher* searcher = &engine.Searcher();
   // Second calls return the same objects, not recomputations.
   EXPECT_EQ(cd, &engine.Coreness());
   EXPECT_EQ(rank, &engine.Rank());
   EXPECT_EQ(forest, &engine.Forest());
+  EXPECT_EQ(flat, &engine.Flat());
   EXPECT_EQ(searcher, &engine.Searcher());
 }
 
@@ -75,10 +77,12 @@ TEST(EngineTest, DecompositionRunsExactlyOnce) {
   engine.Coreness();
   engine.Rank();
   engine.Forest();
+  engine.Flat();
   engine.Searcher();
   const StageTelemetry& t = engine.telemetry();
   EXPECT_EQ(t.CountStage("decomposition"), 1u);
   EXPECT_EQ(t.CountStage("construction"), 1u);
+  EXPECT_EQ(t.CountStage("construction.freeze"), 1u);
   EXPECT_EQ(t.CountStage("rank"), 1u);
   EXPECT_EQ(t.CountStage("search.preprocess"), 1u);
   EXPECT_EQ(t.CountStage("search.primary_a"), 1u);
@@ -115,8 +119,12 @@ TEST(EngineTest, AlgoSelectionProducesEquivalentForests) {
     HcdEngine naive(&c.graph, {.algo = EngineAlgo::kNaive});
     EXPECT_TRUE(HcdEquals(phcd.Forest(), naive.Forest()));
     EXPECT_TRUE(HcdEquals(lcps.Forest(), naive.Forest()));
+    // The frozen index preserves the hierarchy of its source forest.
+    EXPECT_TRUE(HcdEquals(phcd.Forest(), lcps.Flat()));
     EXPECT_TRUE(
         ValidateHcd(c.graph, phcd.Coreness(), phcd.Forest()).ok());
+    EXPECT_TRUE(
+        ValidateHcd(c.graph, phcd.Coreness(), phcd.Flat()).ok());
   }
 }
 
@@ -144,7 +152,7 @@ TEST(EngineTest, SearchMatchesDirectPbks) {
                         Metric::kClusteringCoefficient}) {
     SearchResult via_engine = engine.Search(metric);
     SearchResult direct =
-        PbksSearch(g, engine.Coreness(), engine.Forest(), metric);
+        PbksSearch(g, engine.Coreness(), engine.Flat(), metric);
     EXPECT_EQ(via_engine.best_node, direct.best_node);
     EXPECT_DOUBLE_EQ(via_engine.best_score, direct.best_score);
   }

@@ -1,0 +1,399 @@
+// Tests for the frozen flat representation: Freeze equivalence against the
+// builder forest, the preorder/CSR structural invariants, Adopt's
+// validation of every invariant, v2 snapshot round-trips (bit-identical),
+// the v1 -> v2 migration path, and corrupt-v2 rejection.
+
+#include "hcd/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "hcd/naive_hcd.h"
+#include "hcd/phcd.h"
+#include "hcd/serialize.h"
+#include "hcd/validate.h"
+#include "parallel/omp_utils.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+std::vector<VertexId> Sorted(std::span<const VertexId> s) {
+  std::vector<VertexId> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class FlatIndexSuite : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(FlatIndexSuite, FreezeMatchesForestNodeByNode) {
+  const Graph& g = GetParam().graph;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest forest = NaiveHcdBuild(g, cd);
+  const FlatHcdIndex flat = Freeze(forest);
+
+  ASSERT_EQ(flat.NumNodes(), forest.NumNodes());
+  ASSERT_EQ(flat.NumVertices(), forest.NumVertices());
+  EXPECT_TRUE(HcdEquals(forest, flat));
+  if (g.NumVertices() > 0) {
+    EXPECT_TRUE(ValidateHcd(g, cd, flat).ok());
+  }
+
+  // Cross-representation per-node equality via representative vertices.
+  ASSERT_EQ(flat.Roots().size(), forest.Roots().size());
+  for (TreeNodeId t = 0; t < flat.NumNodes(); ++t) {
+    ASSERT_FALSE(flat.Vertices(t).empty());
+    const VertexId rep = flat.Vertices(t).front();
+    const TreeNodeId ft = forest.Tid(rep);
+    EXPECT_EQ(flat.Level(t), forest.Level(ft));
+    EXPECT_EQ(Sorted(flat.Vertices(t)), Sorted(forest.Vertices(ft)));
+    EXPECT_EQ(flat.CoreSize(t), forest.CoreSize(ft));
+    EXPECT_EQ(Sorted(flat.CoreVertices(t)),
+              Sorted(forest.CoreVertices(ft)));
+    EXPECT_EQ(flat.Children(t).size(), forest.Children(ft).size());
+    const TreeNodeId pa = flat.Parent(t);
+    const TreeNodeId fpa = forest.Parent(ft);
+    ASSERT_EQ(pa == kInvalidNode, fpa == kInvalidNode);
+    if (pa != kInvalidNode) {
+      EXPECT_EQ(flat.Level(pa), forest.Level(fpa));
+      EXPECT_EQ(forest.Tid(flat.Vertices(pa).front()), fpa);
+    }
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(flat.Tid(v) == kInvalidNode, forest.Tid(v) == kInvalidNode);
+  }
+}
+
+TEST_P(FlatIndexSuite, PreorderInvariantsHold) {
+  const Graph& g = GetParam().graph;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  const FlatHcdIndex::Data& d = flat.data();
+
+  for (TreeNodeId t = 0; t < flat.NumNodes(); ++t) {
+    // CoreVertices is a true O(1) view into the packed vertex array,
+    // starting at the node's own vertices.
+    const std::span<const VertexId> core = flat.CoreVertices(t);
+    EXPECT_EQ(core.data(), d.vertices.data() + d.vertex_offsets[t]);
+    EXPECT_EQ(core.size(), flat.CoreSize(t));
+    // ... and equals the union of the subtree's own vertex spans.
+    uint64_t subtree_verts = 0;
+    for (TreeNodeId s = t; s < t + flat.SubtreeNodes(t); ++s) {
+      subtree_verts += flat.Vertices(s).size();
+      EXPECT_LT(flat.Level(t), s == t ? flat.Level(s) + 1 : flat.Level(s));
+    }
+    EXPECT_EQ(core.size(), subtree_verts);
+    // Children sit exactly at the preorder subtree boundaries.
+    TreeNodeId expected = t + 1;
+    for (TreeNodeId c : flat.Children(t)) {
+      EXPECT_EQ(c, expected);
+      EXPECT_EQ(flat.Parent(c), t);
+      expected = c + flat.SubtreeNodes(c);
+    }
+    EXPECT_EQ(expected, t + flat.SubtreeNodes(t));
+  }
+
+  // Descending-level groups: a partition of the nodes, strictly descending
+  // level between groups, ascending ids within.
+  size_t covered = 0;
+  uint32_t prev_level = 0;
+  for (size_t gi = 0; gi < flat.NumLevelGroups(); ++gi) {
+    const std::span<const TreeNodeId> group = flat.LevelGroup(gi);
+    ASSERT_FALSE(group.empty());
+    if (gi > 0) {
+      EXPECT_LT(flat.Level(group.front()), prev_level);
+    }
+    prev_level = flat.Level(group.front());
+    for (size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(flat.Level(group[i]), prev_level);
+      if (i > 0) {
+        EXPECT_LT(group[i - 1], group[i]);
+      }
+    }
+    covered += group.size();
+  }
+  EXPECT_EQ(covered, flat.NumNodes());
+}
+
+TEST_P(FlatIndexSuite, AdoptAcceptsFreezeOutput) {
+  const Graph& g = GetParam().graph;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  FlatHcdIndex adopted;
+  ASSERT_TRUE(FlatHcdIndex::Adopt(flat.data(), &adopted).ok());
+  EXPECT_TRUE(HcdEquals(flat, adopted));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, FlatIndexSuite,
+    ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FlatIndex, FreezeStableAcrossThreadCounts) {
+  Graph g = BarabasiAlbert(600, 4, 9);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest forest = PhcdBuild(g, cd);
+  const FlatHcdIndex base = Freeze(forest);
+  for (int threads : {1, 3, 8}) {
+    ThreadCountGuard guard(threads);
+    const FlatHcdIndex flat = Freeze(forest);
+    // Preorder numbering is deterministic, so the arrays match exactly.
+    EXPECT_EQ(flat.data().levels, base.data().levels);
+    EXPECT_EQ(flat.data().parents, base.data().parents);
+    EXPECT_EQ(flat.data().vertices, base.data().vertices);
+    EXPECT_EQ(flat.data().tid, base.data().tid);
+  }
+}
+
+TEST(FlatIndex, MoveFreezeReleasesForest) {
+  Graph g = PlantedHierarchy(OnionSpec(5, 8), 2);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest forest = NaiveHcdBuild(g, cd);
+  const FlatHcdIndex expect = Freeze(forest);
+  const FlatHcdIndex flat = Freeze(std::move(forest));
+  EXPECT_TRUE(HcdEquals(expect, flat));
+  EXPECT_EQ(forest.NumNodes(), 0u);  // builder arrays released
+}
+
+TEST(FlatIndex, EmptyForest) {
+  const FlatHcdIndex flat = Freeze(HcdForest(0));
+  EXPECT_EQ(flat.NumNodes(), 0u);
+  EXPECT_EQ(flat.NumVertices(), 0u);
+  EXPECT_EQ(flat.NumLevelGroups(), 0u);
+  EXPECT_TRUE(flat.Roots().empty());
+  FlatHcdIndex adopted;
+  EXPECT_TRUE(FlatHcdIndex::Adopt(flat.data(), &adopted).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adopt rejects every class of structural violation.
+
+FlatHcdIndex::Data ValidData() {
+  Graph g = PlantedHierarchy(BranchingSpec(2, 8, 2, 2, 4), 17);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  return Freeze(NaiveHcdBuild(g, cd)).data();
+}
+
+void ExpectAdoptCorruption(FlatHcdIndex::Data d, const char* what) {
+  FlatHcdIndex out;
+  Status s = FlatHcdIndex::Adopt(std::move(d), &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << what << ": " << s.ToString();
+}
+
+TEST(FlatIndexAdopt, RejectsEveryInvariantViolation) {
+  const FlatHcdIndex::Data valid = ValidData();
+  ASSERT_GE(valid.levels.size(), 3u);
+
+  {
+    FlatHcdIndex::Data d = valid;
+    d.parents.pop_back();
+    ExpectAdoptCorruption(std::move(d), "section size mismatch");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.vertex_offsets[1] = d.vertex_offsets.back() + 10;  // non-monotone + OOB
+    ExpectAdoptCorruption(std::move(d), "offsets not monotone");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.subtree_nodes[0] = static_cast<TreeNodeId>(d.levels.size()) + 1;
+    ExpectAdoptCorruption(std::move(d), "subtree out of range");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.parents[1] = 2;  // parent after child in preorder
+    ExpectAdoptCorruption(std::move(d), "preorder inversion");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.levels[0] = d.levels[1] + 1;  // parent level >= child level
+    ExpectAdoptCorruption(std::move(d), "level inversion");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.tid[d.vertices.front()] = static_cast<TreeNodeId>(d.levels.size()) + 7;
+    ExpectAdoptCorruption(std::move(d), "tid out of range");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.vertices[0] = d.num_vertices + 1;
+    ExpectAdoptCorruption(std::move(d), "vertex id out of range");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    std::swap(d.desc_level_order[0],
+              d.desc_level_order[d.desc_level_order.size() - 1]);
+    ExpectAdoptCorruption(std::move(d), "level order not canonical");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.roots[0] = 1;
+    ExpectAdoptCorruption(std::move(d), "roots array mismatch");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    // Break the children <-> subtree bijection without touching parents.
+    d.children[0] = d.children.size() > 1 ? d.children[1] : d.children[0] + 1;
+    ExpectAdoptCorruption(std::move(d), "children not at boundaries");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v2 snapshots: bit-identical round trip, v1 migration, corrupt files.
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<char> bytes(static_cast<size_t>(std::ftell(f)));
+  std::rewind(f);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(FlatIndexSnapshot, V2RoundTripIsBitIdentical) {
+  Graph g = RMatGraph500(9, 4000, 23);
+  CoreDecomposition cd = PkcCoreDecomposition(g);
+  const FlatHcdIndex flat = Freeze(PhcdBuild(g, cd));
+
+  const std::string path1 = ::testing::TempDir() + "/flat_rt1.bin";
+  const std::string path2 = ::testing::TempDir() + "/flat_rt2.bin";
+  ASSERT_TRUE(SaveFlatIndex(flat, path1).ok());
+  FlatHcdIndex loaded;
+  ASSERT_TRUE(LoadFlatIndex(path1, &loaded).ok());
+  EXPECT_TRUE(HcdEquals(flat, loaded));
+  EXPECT_EQ(loaded.data().subtree_nodes, flat.data().subtree_nodes);
+  ASSERT_TRUE(SaveFlatIndex(loaded, path2).ok());
+  EXPECT_EQ(ReadAll(path1), ReadAll(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(FlatIndexSnapshot, V1MigratesThroughFreeze) {
+  Graph g = PlantedForest({OnionSpec(4, 6), OnionSpec(6, 5)}, 31);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  HcdForest forest = NaiveHcdBuild(g, cd);
+  const std::string path = ::testing::TempDir() + "/flat_migrate.bin";
+  ASSERT_TRUE(SaveForest(forest, path).ok());
+
+  FlatHcdIndex migrated;
+  ASSERT_TRUE(LoadFlatIndex(path, &migrated).ok());
+  EXPECT_TRUE(HcdEquals(forest, migrated));
+  // Migration produces the same index as freezing directly.
+  const FlatHcdIndex direct = Freeze(forest);
+  EXPECT_EQ(migrated.data().levels, direct.data().levels);
+  EXPECT_EQ(migrated.data().vertices, direct.data().vertices);
+  std::remove(path.c_str());
+}
+
+class FlatSnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Graph g = PlantedHierarchy(BranchingSpec(2, 8, 2, 2, 4), 41);
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    index_ = Freeze(NaiveHcdBuild(g, cd));
+    path_ = ::testing::TempDir() + "/flat_corrupt.bin";
+    ASSERT_TRUE(SaveFlatIndex(index_, path_).ok());
+    bytes_ = ReadAll(path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Writes `bytes`, loads, and expects Corruption.
+  void ExpectCorrupt(const std::vector<char>& bytes, const char* what) {
+    WriteAll(path_, bytes);
+    FlatHcdIndex loaded;
+    Status s = LoadFlatIndex(path_, &loaded);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << what << ": " << s.ToString();
+  }
+
+  uint64_t HeaderWord(size_t i) const {
+    uint64_t w;
+    std::memcpy(&w, bytes_.data() + i * sizeof(uint64_t), sizeof(w));
+    return w;
+  }
+
+  std::vector<char> WithHeaderWord(size_t i, uint64_t value) const {
+    std::vector<char> bytes = bytes_;
+    std::memcpy(bytes.data() + i * sizeof(uint64_t), &value, sizeof(value));
+    return bytes;
+  }
+
+  FlatHcdIndex index_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(FlatSnapshotCorruption, Truncation) {
+  std::vector<char> bytes = bytes_;
+  bytes.resize(bytes.size() - 8);
+  ExpectCorrupt(bytes, "dropped tail");
+  bytes.resize(32);  // mid-header
+  ExpectCorrupt(bytes, "mid-header truncation");
+}
+
+TEST_F(FlatSnapshotCorruption, BadMagic) {
+  ExpectCorrupt(WithHeaderWord(0, 0x4242424242424242ULL), "bad magic");
+}
+
+TEST_F(FlatSnapshotCorruption, HeaderCountsDisagreeWithFileSize) {
+  // Each tampered count changes the expected file size (or trips the
+  // header plausibility checks) and must be rejected before allocation.
+  ExpectCorrupt(WithHeaderWord(2, HeaderWord(2) + 1), "num_nodes + 1");
+  ExpectCorrupt(WithHeaderWord(5, HeaderWord(5) + 1), "num_placed + 1");
+  ExpectCorrupt(WithHeaderWord(3, HeaderWord(3) + 1), "num_roots + 1");
+  ExpectCorrupt(WithHeaderWord(2, 1ULL << 40), "absurd num_nodes");
+  ExpectCorrupt(WithHeaderWord(7, 1), "nonzero reserved word");
+}
+
+TEST_F(FlatSnapshotCorruption, TamperedSectionsFailAdopt) {
+  const uint64_t num_nodes = HeaderWord(2);
+  auto padded = [](uint64_t count) {
+    return (count * sizeof(uint32_t) + 7) / 8 * 8;
+  };
+  const size_t header_bytes = 8 * sizeof(uint64_t);
+
+  {
+    // parents[1] (section 2, element 1): point it at a later node —
+    // preorder inversion.
+    std::vector<char> bytes = bytes_;
+    const size_t off = header_bytes + padded(num_nodes) + 1 * sizeof(uint32_t);
+    const uint32_t bad_parent = 2;
+    std::memcpy(bytes.data() + off, &bad_parent, sizeof(bad_parent));
+    ExpectCorrupt(bytes, "preorder inversion");
+  }
+  {
+    // tid[0] (the 8th section): out-of-range node id. Sections before tid
+    // are levels, parents, subtree_nodes, child_offsets, children,
+    // vertex_offsets, vertices.
+    std::vector<char> bytes = bytes_;
+    const size_t tid_off = header_bytes + 3 * padded(num_nodes) +
+                           padded(num_nodes + 1) + padded(HeaderWord(4)) +
+                           padded(num_nodes + 1) + padded(HeaderWord(5));
+    const uint32_t bad_tid = static_cast<uint32_t>(num_nodes) + 9;
+    std::memcpy(bytes.data() + tid_off, &bad_tid, sizeof(bad_tid));
+    ExpectCorrupt(bytes, "tid out of range");
+  }
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "core/core_decomposition.h"
 #include "core/naive.h"
 #include "graph/generators.h"
+#include "hcd/flat_index.h"
 #include "hcd/lcps.h"
 #include "hcd/naive_hcd.h"
 #include "hcd/phcd.h"
@@ -46,17 +49,22 @@ TEST(Integration, ParallelAndSerialPipelinesAgree) {
     ASSERT_TRUE(ValidateHcd(g, parallel_cd, parallel_f).ok());
     ASSERT_TRUE(HcdEquals(serial_f, parallel_f));
 
+    const FlatHcdIndex serial_i = Freeze(std::move(serial_f));
+    const FlatHcdIndex parallel_i = Freeze(std::move(parallel_f));
+    ASSERT_TRUE(ValidateHcd(g, serial_cd, serial_i).ok());
+    ASSERT_TRUE(HcdEquals(serial_i, parallel_i));
+
     for (Metric metric : kAllMetrics) {
       SCOPED_TRACE(MetricName(metric));
-      SearchResult pbks = PbksSearch(g, parallel_cd, parallel_f, metric);
-      SearchResult bks = BksSearch(g, serial_cd, serial_f, metric);
+      SearchResult pbks = PbksSearch(g, parallel_cd, parallel_i, metric);
+      SearchResult bks = BksSearch(g, serial_cd, serial_i, metric);
       ASSERT_EQ(pbks.scores.size(), bks.scores.size());
       for (size_t i = 0; i < pbks.scores.size(); ++i) {
-        // Node ids coincide because the forests are structurally equal and
-        // both builders emit nodes deterministically; compare via scores of
-        // the node holding the same representative vertex to stay robust.
-        VertexId rep = parallel_f.Vertices(static_cast<TreeNodeId>(i)).front();
-        TreeNodeId in_serial = serial_f.Tid(rep);
+        // Node ids coincide because the frozen indexes are structurally
+        // equal and preorder numbering is deterministic; compare via scores
+        // of the node holding the same representative vertex to stay robust.
+        VertexId rep = parallel_i.Vertices(static_cast<TreeNodeId>(i)).front();
+        TreeNodeId in_serial = serial_i.Tid(rep);
         EXPECT_NEAR(pbks.scores[i], bks.scores[in_serial], 1e-9);
       }
       EXPECT_NEAR(pbks.best_score, bks.best_score, 1e-9);
@@ -68,14 +76,17 @@ TEST(Integration, PipelineUnderVaryingThreads) {
   Graph g = BarabasiAlbert(1500, 4, 7);
   CoreDecomposition base_cd = PkcCoreDecomposition(g);
   HcdForest base_f = PhcdBuild(g, base_cd);
-  SearchResult base_r = PbksSearch(g, base_cd, base_f, Metric::kModularity);
+  const FlatHcdIndex base_i = Freeze(base_f);
+  SearchResult base_r = PbksSearch(g, base_cd, base_i, Metric::kModularity);
   for (int threads : {1, 3, 8}) {
     ThreadCountGuard guard(threads);
     CoreDecomposition cd = PkcCoreDecomposition(g);
     EXPECT_EQ(cd.coreness, base_cd.coreness);
     HcdForest f = PhcdBuild(g, cd);
     EXPECT_TRUE(HcdEquals(f, base_f));
-    SearchResult r = PbksSearch(g, cd, f, Metric::kModularity);
+    const FlatHcdIndex flat = Freeze(std::move(f));
+    EXPECT_TRUE(HcdEquals(flat, base_i));
+    SearchResult r = PbksSearch(g, cd, flat, Metric::kModularity);
     EXPECT_EQ(r.scores, base_r.scores);
   }
 }
@@ -83,12 +94,12 @@ TEST(Integration, PipelineUnderVaryingThreads) {
 TEST(Integration, SaveLoadSearchRoundTrip) {
   Graph g = RMatGraph500(10, 8000, 55);
   CoreDecomposition cd = PkcCoreDecomposition(g);
-  HcdForest f = PhcdBuild(g, cd);
+  const FlatHcdIndex flat = Freeze(PhcdBuild(g, cd));
   const std::string path = ::testing::TempDir() + "/integration_forest.bin";
-  ASSERT_TRUE(SaveForest(f, path).ok());
-  HcdForest loaded;
-  ASSERT_TRUE(LoadForest(path, &loaded).ok());
-  SearchResult a = PbksSearch(g, cd, f, Metric::kAverageDegree);
+  ASSERT_TRUE(SaveFlatIndex(flat, path).ok());
+  FlatHcdIndex loaded;
+  ASSERT_TRUE(LoadFlatIndex(path, &loaded).ok());
+  SearchResult a = PbksSearch(g, cd, flat, Metric::kAverageDegree);
   SearchResult b = PbksSearch(g, cd, loaded, Metric::kAverageDegree);
   EXPECT_EQ(a.scores, b.scores);
   std::remove(path.c_str());
@@ -97,8 +108,8 @@ TEST(Integration, SaveLoadSearchRoundTrip) {
 TEST(Integration, DensestPipelineOnSkewedGraph) {
   Graph g = BarabasiAlbert(2000, 6, 99);
   CoreDecomposition cd = PkcCoreDecomposition(g);
-  HcdForest f = PhcdBuild(g, cd);
-  DenseSubgraph pbks = PbksDensest(g, cd, f);
+  const FlatHcdIndex flat = Freeze(PhcdBuild(g, cd));
+  DenseSubgraph pbks = PbksDensest(g, cd, flat);
   DenseSubgraph coreapp = CoreAppDensest(g, cd);
   EXPECT_GE(pbks.average_degree, coreapp.average_degree - 1e-9);
   EXPECT_GE(pbks.average_degree, static_cast<double>(cd.k_max) - 1e-9);

@@ -4,6 +4,7 @@
 
 #include "core/core_decomposition.h"
 #include "graph/generators.h"
+#include "hcd/flat_index.h"
 #include "hcd/naive_hcd.h"
 #include "parallel/omp_utils.h"
 #include "search/bks.h"
@@ -18,14 +19,14 @@ namespace {
 struct Pipeline {
   Graph graph;
   CoreDecomposition cd;
-  HcdForest forest;
+  FlatHcdIndex flat;
 };
 
 Pipeline Build(const Graph& g) {
   Pipeline p;
   p.graph = g;
   p.cd = BzCoreDecomposition(p.graph);
-  p.forest = NaiveHcdBuild(p.graph, p.cd);
+  p.flat = Freeze(NaiveHcdBuild(p.graph, p.cd));
   return p;
 }
 
@@ -50,8 +51,8 @@ class PbksSuite : public ::testing::TestWithParam<testing::GraphCase> {};
 TEST_P(PbksSuite, TypeAPrimaryMatchesBruteForce) {
   Pipeline p = Build(GetParam().graph);
   const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
-  ExpectPrimaryEqual(PbksTypeAPrimary(p.graph, p.cd, p.forest, pre),
-                     BruteNodePrimaryValues(p.graph, p.forest),
+  ExpectPrimaryEqual(PbksTypeAPrimary(p.graph, p.cd, p.flat, pre),
+                     BruteNodePrimaryValues(p.graph, p.flat),
                      /*type_b=*/false);
 }
 
@@ -59,8 +60,8 @@ TEST_P(PbksSuite, TypeBPrimaryMatchesBruteForce) {
   Pipeline p = Build(GetParam().graph);
   const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
   const auto vr = ComputeVertexRank(p.cd);
-  ExpectPrimaryEqual(PbksTypeBPrimary(p.graph, p.cd, p.forest, vr, pre),
-                     BruteNodePrimaryValues(p.graph, p.forest),
+  ExpectPrimaryEqual(PbksTypeBPrimary(p.graph, p.cd, p.flat, vr, pre),
+                     BruteNodePrimaryValues(p.graph, p.flat),
                      /*type_b=*/true);
 }
 
@@ -68,10 +69,10 @@ TEST_P(PbksSuite, BksPrimaryMatchesBruteForce) {
   Pipeline p = Build(GetParam().graph);
   const auto index = BuildBksIndex(p.graph, p.cd);
   const auto vr = ComputeVertexRank(p.cd);
-  const auto want = BruteNodePrimaryValues(p.graph, p.forest);
-  ExpectPrimaryEqual(BksTypeAPrimary(p.graph, p.cd, p.forest, index, vr), want,
+  const auto want = BruteNodePrimaryValues(p.graph, p.flat);
+  ExpectPrimaryEqual(BksTypeAPrimary(p.graph, p.cd, p.flat, index, vr), want,
                      /*type_b=*/false);
-  ExpectPrimaryEqual(BksTypeBPrimary(p.graph, p.cd, p.forest, index, vr), want,
+  ExpectPrimaryEqual(BksTypeBPrimary(p.graph, p.cd, p.flat, index, vr), want,
                      /*type_b=*/true);
 }
 
@@ -79,8 +80,8 @@ TEST_P(PbksSuite, PbksAndBksAgreeOnEveryMetric) {
   Pipeline p = Build(GetParam().graph);
   for (Metric metric : kAllMetrics) {
     SCOPED_TRACE(MetricName(metric));
-    SearchResult pbks = PbksSearch(p.graph, p.cd, p.forest, metric);
-    SearchResult bks = BksSearch(p.graph, p.cd, p.forest, metric);
+    SearchResult pbks = PbksSearch(p.graph, p.cd, p.flat, metric);
+    SearchResult bks = BksSearch(p.graph, p.cd, p.flat, metric);
     ASSERT_EQ(pbks.scores.size(), bks.scores.size());
     for (size_t i = 0; i < pbks.scores.size(); ++i) {
       EXPECT_NEAR(pbks.scores[i], bks.scores[i], 1e-9) << "node " << i;
@@ -91,15 +92,15 @@ TEST_P(PbksSuite, PbksAndBksAgreeOnEveryMetric) {
 
 TEST_P(PbksSuite, StableAcrossThreadCounts) {
   Pipeline p = Build(GetParam().graph);
-  SearchResult base_a = PbksSearch(p.graph, p.cd, p.forest,
+  SearchResult base_a = PbksSearch(p.graph, p.cd, p.flat,
                                    Metric::kConductance);
-  SearchResult base_b = PbksSearch(p.graph, p.cd, p.forest,
+  SearchResult base_b = PbksSearch(p.graph, p.cd, p.flat,
                                    Metric::kClusteringCoefficient);
   for (int threads : {2, 4}) {
     ThreadCountGuard guard(threads);
-    SearchResult a = PbksSearch(p.graph, p.cd, p.forest, Metric::kConductance);
+    SearchResult a = PbksSearch(p.graph, p.cd, p.flat, Metric::kConductance);
     SearchResult b =
-        PbksSearch(p.graph, p.cd, p.forest, Metric::kClusteringCoefficient);
+        PbksSearch(p.graph, p.cd, p.flat, Metric::kClusteringCoefficient);
     EXPECT_EQ(a.scores, base_a.scores);
     EXPECT_EQ(b.scores, base_b.scores);
   }
@@ -114,27 +115,27 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Pbks, PaperExample2BestAverageDegreeIsS31) {
   // Figure 1 / Example 2: S3.1 has the highest average degree 40/9 ~ 4.44.
   Pipeline p = Build(PaperFigure1Graph());
-  SearchResult r = PbksSearch(p.graph, p.cd, p.forest, Metric::kAverageDegree);
+  SearchResult r = PbksSearch(p.graph, p.cd, p.flat, Metric::kAverageDegree);
   ASSERT_NE(r.best_node, kInvalidNode);
-  EXPECT_EQ(p.forest.Level(r.best_node), 3u);
-  EXPECT_EQ(p.forest.CoreVertices(r.best_node).size(), 9u);
+  EXPECT_EQ(p.flat.Level(r.best_node), 3u);
+  EXPECT_EQ(p.flat.CoreVertices(r.best_node).size(), 9u);
   EXPECT_NEAR(r.best_score, 40.0 / 9.0, 1e-12);
 }
 
 TEST(Pbks, SearcherCachesAndAgreesWithOneShot) {
   Pipeline p = Build(BarabasiAlbert(250, 4, 21));
-  SubgraphSearcher searcher(p.graph, p.cd, p.forest);
+  SubgraphSearcher searcher(p.graph, p.cd, p.flat);
   for (Metric metric : kAllMetrics) {
     SCOPED_TRACE(MetricName(metric));
     SearchResult cached = searcher.Search(metric);
-    SearchResult oneshot = PbksSearch(p.graph, p.cd, p.forest, metric);
+    SearchResult oneshot = PbksSearch(p.graph, p.cd, p.flat, metric);
     EXPECT_EQ(cached.scores, oneshot.scores);
     EXPECT_EQ(cached.best_node, oneshot.best_node);
   }
   // CoreVertices of the best node round-trips through the forest.
   SearchResult r = searcher.Search(Metric::kAverageDegree);
   auto core = searcher.CoreVertices(r);
-  EXPECT_EQ(core.size(), p.forest.CoreSize(r.best_node));
+  EXPECT_EQ(core.size(), p.flat.CoreSize(r.best_node));
 }
 
 TEST(Pbks, WholeGraphScoresMatchDirectComputation) {
@@ -142,13 +143,13 @@ TEST(Pbks, WholeGraphScoresMatchDirectComputation) {
   // verify against globally computed values on a clique.
   Pipeline p = Build(CompleteGraph(8));
   const auto pre = PreprocessCorenessCounts(p.graph, p.cd);
-  auto vals = PbksTypeAPrimary(p.graph, p.cd, p.forest, pre);
+  auto vals = PbksTypeAPrimary(p.graph, p.cd, p.flat, pre);
   ASSERT_EQ(vals.size(), 1u);
   EXPECT_EQ(vals[0].n_s, 8u);
   EXPECT_EQ(vals[0].edges2, 2u * 28u);
   EXPECT_EQ(vals[0].boundary, 0u);
   const auto vr = ComputeVertexRank(p.cd);
-  auto valsb = PbksTypeBPrimary(p.graph, p.cd, p.forest, vr, pre);
+  auto valsb = PbksTypeBPrimary(p.graph, p.cd, p.flat, vr, pre);
   EXPECT_EQ(valsb[0].triangles, 56u);  // C(8,3)
   EXPECT_EQ(valsb[0].triplets, 8u * 21u);  // 8 * C(7,2)
 }

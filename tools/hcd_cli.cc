@@ -5,7 +5,7 @@
 //   hcd_cli gen <ba|rmat|gnm|onion> <out.{bin,txt}> [args...]
 //   hcd_cli convert <in.txt> <out.bin>
 //   hcd_cli stats <graph> [flags]
-//   hcd_cli build <graph> <out.forest> [flags]
+//   hcd_cli build <graph> <out.forest> [flags]    (writes a v2 flat snapshot)
 //   hcd_cli search <graph> <metric> [flags]
 //   hcd_cli export <graph> <out.dot> [flags]
 //   hcd_cli truss <graph> [flags]
@@ -261,10 +261,10 @@ int CmdStats(const CliArgs& args) {
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
   const hcd::CoreDecomposition& cd = engine->Coreness();
-  const hcd::HcdForest& forest = engine->Forest();
+  const hcd::FlatHcdIndex& flat = engine->Flat();
   if (args.json) {
     std::string extra = ",\"result\":{\"k_max\":" + std::to_string(cd.k_max) +
-                        ",\"tree_nodes\":" + std::to_string(forest.NumNodes()) +
+                        ",\"tree_nodes\":" + std::to_string(flat.NumNodes()) +
                         "}";
     PrintJsonReport("stats", args, *engine, extra);
     return 0;
@@ -274,8 +274,8 @@ int CmdStats(const CliArgs& args) {
   std::printf("m         %llu\n", static_cast<unsigned long long>(g.NumEdges()));
   std::printf("d_avg     %.2f\n", g.AverageDegree());
   std::printf("k_max     %u\n", cd.k_max);
-  std::printf("|T|       %u\n", forest.NumNodes());
-  std::printf("%s", hcd::ForestStatsToString(hcd::ComputeForestStats(forest)).c_str());
+  std::printf("|T|       %u\n", flat.NumNodes());
+  std::printf("%s", hcd::ForestStatsToString(hcd::ComputeForestStats(flat)).c_str());
   std::printf("(computed in %.3fs)\n", engine->telemetry().TotalSeconds());
   return 0;
 }
@@ -285,24 +285,25 @@ int CmdBuild(const CliArgs& args) {
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  const hcd::HcdForest& forest = engine->Forest();
+  const hcd::FlatHcdIndex& flat = engine->Flat();
   {
     ScopedStage stage(engine->sink(), "serialize");
-    s = hcd::SaveForest(forest, args.pos[1]);
-    stage.AddCounter("nodes", forest.NumNodes());
+    s = hcd::SaveFlatIndex(flat, args.pos[1]);
+    stage.AddCounter("nodes", flat.NumNodes());
   }
   if (!s.ok()) return Fail(s);
   if (args.json) {
     PrintJsonReport("build", args, *engine,
                     ",\"result\":{\"tree_nodes\":" +
-                        std::to_string(forest.NumNodes()) + "}");
+                        std::to_string(flat.NumNodes()) + "}");
     return 0;
   }
   const hcd::StageTelemetry& t = engine->telemetry();
-  std::printf("%s: core decomposition %.3fs, construction %.3fs, %u nodes\n",
+  std::printf("%s: core decomposition %.3fs, construction %.3fs (+freeze "
+              "%.3fs), %u nodes\n",
               hcd::EngineAlgoName(args.options.algo),
               t.StageSeconds("decomposition"), t.StageSeconds("construction"),
-              forest.NumNodes());
+              t.StageSeconds("construction.freeze"), flat.NumNodes());
   return 0;
 }
 
@@ -314,21 +315,21 @@ int CmdSearch(const CliArgs& args) {
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
   hcd::SearchResult r = engine->Search(metric);
-  const hcd::HcdForest& forest = engine->Forest();
+  const hcd::FlatHcdIndex& flat = engine->Flat();
   if (args.json) {
     char extra[256];
     std::snprintf(extra, sizeof(extra),
                   ",\"result\":{\"metric\":\"%s\",\"k\":%u,\"size\":%llu,"
                   "\"score\":%.9g}",
-                  hcd::MetricName(metric), forest.Level(r.best_node),
-                  static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+                  hcd::MetricName(metric), flat.Level(r.best_node),
+                  static_cast<unsigned long long>(flat.CoreSize(r.best_node)),
                   r.best_score);
     PrintJsonReport("search", args, *engine, extra);
     return 0;
   }
   std::printf("best k-core under %s: k=%u |S|=%llu score=%.6f (%.3fs)\n",
-              hcd::MetricName(metric), forest.Level(r.best_node),
-              static_cast<unsigned long long>(forest.CoreSize(r.best_node)),
+              hcd::MetricName(metric), flat.Level(r.best_node),
+              static_cast<unsigned long long>(flat.CoreSize(r.best_node)),
               r.best_score, engine->telemetry().TotalSeconds());
   return 0;
 }
@@ -338,22 +339,22 @@ int CmdExport(const CliArgs& args) {
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
-  const hcd::HcdForest& forest = engine->Forest();
+  const hcd::FlatHcdIndex& flat = engine->Flat();
   {
     ScopedStage stage(engine->sink(), "serialize");
     std::ofstream out(args.pos[1]);
     if (!out) {
       return Fail(Status::IoError("cannot write " + args.pos[1]));
     }
-    out << hcd::ForestToDot(forest);
+    out << hcd::ForestToDot(flat);
   }
   if (args.json) {
     PrintJsonReport("export", args, *engine,
                     ",\"result\":{\"tree_nodes\":" +
-                        std::to_string(forest.NumNodes()) + "}");
+                        std::to_string(flat.NumNodes()) + "}");
     return 0;
   }
-  std::printf("wrote %s (%u nodes)\n", args.pos[1].c_str(), forest.NumNodes());
+  std::printf("wrote %s (%u nodes)\n", args.pos[1].c_str(), flat.NumNodes());
   return 0;
 }
 
