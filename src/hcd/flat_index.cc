@@ -135,33 +135,48 @@ Status FlatHcdIndex::Adopt(Data d, FlatHcdIndex* out) {
     }
   }
 
-  // Vertex placements: per-node spans agree with tid, and every placed
-  // vertex is accounted for exactly once.
-  for (size_t t = 0; t < num_nodes; ++t) {
-    for (uint32_t i = d.vertex_offsets[t]; i < d.vertex_offsets[t + 1]; ++i) {
-      const VertexId v = d.vertices[i];
-      if (v >= d.num_vertices) return corrupt("vertex id out of range");
-      if (d.tid[v] != t) return corrupt("tid does not match vertex placement");
-    }
-  }
+  // Vertex placements: per-node spans agree with tid, no vertex appears in
+  // more than one span slot, and every vertex with a tid appears in exactly
+  // the span that tid names. Per-vertex tracking (not just totals) so a
+  // duplicate in one span can't be offset by a phantom placement elsewhere.
   {
-    uint64_t placed = 0;
+    std::vector<uint8_t> seen(d.num_vertices, 0);
+    for (size_t t = 0; t < num_nodes; ++t) {
+      for (uint32_t i = d.vertex_offsets[t]; i < d.vertex_offsets[t + 1];
+           ++i) {
+        const VertexId v = d.vertices[i];
+        if (v >= d.num_vertices) return corrupt("vertex id out of range");
+        if (d.tid[v] != t) {
+          return corrupt("tid does not match vertex placement");
+        }
+        if (seen[v] != 0) return corrupt("vertex placed more than once");
+        seen[v] = 1;
+      }
+    }
     for (VertexId v = 0; v < d.num_vertices; ++v) {
       const TreeNodeId t = d.tid[v];
       if (t == kInvalidNode) continue;
       if (t >= num_nodes) return corrupt("tid out of range");
-      ++placed;
-    }
-    if (placed != d.vertices.size()) {
-      return corrupt("placed vertex count does not match tid");
+      if (seen[v] == 0) {
+        return corrupt("tid names a node whose span omits the vertex");
+      }
     }
   }
 
   // desc_level_order: a permutation of the nodes, grouped by strictly
   // descending level with ascending ids inside a group (canonical form).
+  // The offsets array is validated in full before any of it is used to
+  // index desc_level_order: strictly increasing, first 0, last num_nodes,
+  // so every [begin, end) below is in bounds.
   if (d.level_group_offsets.empty() || d.level_group_offsets.front() != 0 ||
       d.level_group_offsets.back() != num_nodes) {
     return corrupt("level group offsets malformed");
+  }
+  for (size_t g = 0; g + 1 < d.level_group_offsets.size(); ++g) {
+    if (d.level_group_offsets[g + 1] <= d.level_group_offsets[g] ||
+        d.level_group_offsets[g + 1] > num_nodes) {
+      return corrupt("level group offsets not strictly increasing");
+    }
   }
   {
     std::vector<uint8_t> seen(num_nodes, 0);
@@ -170,7 +185,6 @@ Status FlatHcdIndex::Adopt(Data d, FlatHcdIndex* out) {
     for (size_t g = 0; g + 1 < d.level_group_offsets.size(); ++g) {
       const uint32_t begin = d.level_group_offsets[g];
       const uint32_t end = d.level_group_offsets[g + 1];
-      if (end <= begin) return corrupt("empty level group");
       const TreeNodeId first = d.desc_level_order[begin];
       if (first >= num_nodes) return corrupt("level order id out of range");
       const uint32_t group_level = d.levels[first];

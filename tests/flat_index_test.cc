@@ -246,6 +246,45 @@ TEST(FlatIndexAdopt, RejectsEveryInvariantViolation) {
     d.children[0] = d.children.size() > 1 ? d.children[1] : d.children[0] + 1;
     ExpectAdoptCorruption(std::move(d), "children not at boundaries");
   }
+  {
+    FlatHcdIndex::Data d = valid;
+    // An intermediate offset past num_nodes passes the front/back check but
+    // must be rejected before it indexes desc_level_order out of bounds.
+    const uint32_t num_nodes = static_cast<uint32_t>(d.levels.size());
+    d.level_group_offsets = {0, num_nodes + 0xFFFFFF, num_nodes};
+    ExpectAdoptCorruption(std::move(d), "level group offset out of range");
+  }
+  {
+    // Worst case for the offset validation: a single-level index, so every
+    // in-range prefix of the oversized group is level-homogeneous and
+    // nothing but the upfront offset check stands between Adopt and reading
+    // desc_level_order far past its end (ASan-visible without the fix).
+    FlatHcdIndex::Data d;
+    d.num_vertices = 0;
+    d.levels = {0};
+    d.parents = {kInvalidNode};
+    d.subtree_nodes = {1};
+    d.child_offsets = {0, 0};
+    d.vertex_offsets = {0, 0};
+    d.roots = {0};
+    d.desc_level_order = {0};
+    d.level_group_offsets = {0, 0x01000000u, 1};
+    ExpectAdoptCorruption(std::move(d), "offset past single-level order");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    // A vertex duplicated inside one span while another vertex of the same
+    // span goes missing: every slot's tid still matches and the placed
+    // totals still balance, so only per-vertex tracking catches it.
+    size_t t = 0;
+    while (t < d.levels.size() &&
+           d.vertex_offsets[t + 1] - d.vertex_offsets[t] < 2) {
+      ++t;
+    }
+    ASSERT_LT(t, d.levels.size()) << "fixture needs a node with >= 2 vertices";
+    d.vertices[d.vertex_offsets[t] + 1] = d.vertices[d.vertex_offsets[t]];
+    ExpectAdoptCorruption(std::move(d), "duplicate vertex placement");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -392,6 +431,21 @@ TEST_F(FlatSnapshotCorruption, TamperedSectionsFailAdopt) {
     const uint32_t bad_tid = static_cast<uint32_t>(num_nodes) + 9;
     std::memcpy(bytes.data() + tid_off, &bad_tid, sizeof(bad_tid));
     ExpectCorrupt(bytes, "tid out of range");
+  }
+  {
+    // level_group_offsets[1] (the 10th section) hoisted far past num_nodes:
+    // front/back entries and the file size are untouched, so the snapshot
+    // passes every header check and the upfront offset validation in Adopt
+    // is what rejects it.
+    ASSERT_GE(HeaderWord(6), 2u) << "fixture needs >= 2 level groups";
+    std::vector<char> bytes = bytes_;
+    const size_t group_off = header_bytes + 4 * padded(num_nodes) +
+                             2 * padded(num_nodes + 1) +
+                             padded(HeaderWord(4)) + padded(HeaderWord(5)) +
+                             padded(HeaderWord(1)) + 1 * sizeof(uint32_t);
+    const uint32_t bad_offset = static_cast<uint32_t>(num_nodes) + 0xFFFFFF;
+    std::memcpy(bytes.data() + group_off, &bad_offset, sizeof(bad_offset));
+    ExpectCorrupt(bytes, "level group offset out of range");
   }
 }
 
