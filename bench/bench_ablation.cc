@@ -25,7 +25,7 @@
 #include "hcd/phcd.h"
 #include "search/bks.h"
 #include "search/pbks.h"
-#include "search/searcher.h"
+#include "search/preprocess.h"
 
 int main() {
   hcd::bench::PrintHardwareBanner("Ablations");
@@ -43,8 +43,10 @@ int main() {
     hcd::CoreDecomposition cd = hcd::PkcCoreDecomposition(g);
     const hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(g, cd));
     const double shared = hcd::bench::TimeIt([&] {
-      hcd::SubgraphSearcher searcher(g, cd, flat);
-      for (hcd::Metric m : type_a) searcher.Search(m);
+      const auto pre = hcd::PreprocessCorenessCounts(g, cd);
+      const auto primary = hcd::PbksTypeAPrimary(g, cd, flat, pre);
+      const hcd::GraphGlobals globals{g.NumVertices(), g.NumEdges()};
+      for (hcd::Metric m : type_a) hcd::ScoreNodes(flat, m, primary, globals);
     });
     const double per_call = hcd::bench::TimeIt([&] {
       for (hcd::Metric m : type_a) hcd::PbksSearch(g, cd, flat, m);

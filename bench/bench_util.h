@@ -2,6 +2,8 @@
 #define HCD_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -10,6 +12,42 @@
 #include "parallel/omp_utils.h"
 
 namespace hcd::bench {
+
+/// Collects per-query latencies and reports nearest-rank quantiles
+/// (p50/p95/p99), the shared report shape of `hcd_cli query-bench` and
+/// bench_query_throughput. Not thread-safe: give each worker thread its own
+/// recorder and Merge them afterwards.
+class LatencyRecorder {
+ public:
+  void Record(double seconds) { samples_.push_back(seconds); }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t Count() const { return samples_.size(); }
+
+  /// Nearest-rank quantile: the ceil(q*N)-th smallest sample (so P50 of
+  /// two samples is the lower one, and one sample answers every q). 0.0
+  /// with no samples. `q` in [0, 1]; q=0 is the minimum, q=1 the maximum.
+  double Quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t index =
+        rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
+
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+ private:
+  std::vector<double> samples_;
+};
 
 /// Wall-clock seconds of `fn` (best of `reps` runs; best-of suppresses
 /// one-off allocator / page-fault noise, the usual convention for

@@ -2,6 +2,7 @@
 #define HCD_COMMON_TELEMETRY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,9 +28,15 @@ struct StageRecord {
 
 /// Receiver for per-stage telemetry. Library entry points take an optional
 /// `TelemetrySink*` defaulted to null; passing null keeps the call free of
-/// any instrumentation cost beyond a pointer test. Stages are reported from
-/// the orchestrating thread (never from inside a parallel region), so sinks
-/// need not be thread-safe.
+/// any instrumentation cost beyond a pointer test.
+///
+/// Thread-safety contract: build-phase stages (load, decomposition,
+/// construction, search index building) are reported from the orchestrating
+/// thread — never from inside a parallel region — so a plain sink such as
+/// `StageTelemetry` suffices there. Serve-phase stages (`search.score` from
+/// `QuerySnapshot::Search`) may be reported by many query threads at once;
+/// those callers must hand the library a thread-safe sink — wrap any plain
+/// sink in `ConcurrentTelemetrySink` below.
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -66,6 +73,26 @@ class StageTelemetry : public TelemetrySink {
 
  private:
   std::vector<StageRecord> records_;
+};
+
+/// Thread-safe decorator: serializes RecordStage calls onto an inner sink
+/// with a mutex, making any single-threaded sink usable from concurrent
+/// query threads. Record order across threads is the mutex acquisition
+/// order (per-stage counts and totals are exact; inter-thread ordering is
+/// not meaningful). The inner sink must outlive the decorator, and must not
+/// be written through any other path while the decorator is in use.
+class ConcurrentTelemetrySink : public TelemetrySink {
+ public:
+  explicit ConcurrentTelemetrySink(TelemetrySink* inner) : inner_(inner) {}
+
+  void RecordStage(const StageRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->RecordStage(record);
+  }
+
+ private:
+  std::mutex mu_;
+  TelemetrySink* inner_;
 };
 
 /// RAII stage timer: starts on construction and reports the stage to the

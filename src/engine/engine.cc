@@ -141,23 +141,28 @@ const FlatHcdIndex& HcdEngine::Flat() {
   return *flat_;
 }
 
-SubgraphSearcher& HcdEngine::Searcher() {
-  if (!searcher_) {
+const SearchIndex& HcdEngine::Searcher() {
+  if (!search_index_) {
     const CoreDecomposition& cd = Coreness();
     const FlatHcdIndex& flat = Flat();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
-    searcher_ =
-        std::make_unique<SubgraphSearcher>(*graph_, cd, flat, sink());
+    search_index_.emplace(*graph_, cd, flat, sink());
   }
-  return *searcher_;
+  return *search_index_;
+}
+
+QuerySnapshot HcdEngine::Snapshot() {
+  return QuerySnapshot(*graph_, Coreness(), Flat(), Searcher());
 }
 
 SearchResult HcdEngine::Search(Metric metric) {
-  SubgraphSearcher& searcher = Searcher();
-  std::optional<ThreadCountGuard> guard;
-  if (options_.threads > 0) guard.emplace(options_.threads);
-  return searcher.Search(metric);
+  const SearchHit hit = Snapshot().Search(metric, &workspace_, sink());
+  SearchResult result;
+  result.best_node = hit.best_node;
+  result.best_score = hit.best_score;
+  result.scores = workspace_.scores;
+  return result;
 }
 
 }  // namespace hcd

@@ -9,13 +9,14 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "core/core_decomposition.h"
+#include "engine/snapshot.h"
 #include "graph/graph.h"
 #include "hcd/flat_index.h"
 #include "hcd/forest.h"
 #include "hcd/vertex_rank.h"
 #include "search/metrics.h"
 #include "search/pbks.h"
-#include "search/searcher.h"
+#include "search/search_index.h"
 
 namespace hcd {
 
@@ -49,17 +50,23 @@ struct EngineOptions {
   bool telemetry = true;
 };
 
-/// The pipeline object behind every consumer of the library: owns (or
-/// borrows) one graph and computes each derived stage lazily, at most once
-/// — core decomposition, vertex rank, HCD forest, frozen flat index,
-/// subgraph searcher. Repeated accessor calls return the same cached
-/// object, so e.g. all nine CLI commands and a long-lived query server pay
-/// for each stage once.
+/// The build-phase pipeline object behind every consumer of the library:
+/// owns (or borrows) one graph and computes each derived stage lazily, at
+/// most once — core decomposition, vertex rank, HCD forest, frozen flat
+/// index, search index. Repeated accessor calls return the same cached
+/// object, so e.g. all CLI commands and a long-lived query server pay for
+/// each stage once.
 ///
 /// Thread counts are applied per stage with ThreadCountGuard (never by
 /// mutating global OpenMP state), and every stage reports wall time and
 /// cheap counters to the engine's StageTelemetry unless telemetry is
-/// disabled. Not thread-safe: one engine serves one orchestrating thread.
+/// disabled.
+///
+/// Thread-safety: the engine itself is not thread-safe — one engine is
+/// driven by one orchestrating thread. Concurrency lives on the serve side:
+/// Snapshot() finishes every query-side stage and returns an immutable
+/// QuerySnapshot that any number of worker threads may query at once (see
+/// engine/snapshot.h).
 class HcdEngine {
  public:
   /// Owning constructor: the engine keeps the graph alive.
@@ -112,12 +119,20 @@ class HcdEngine {
   /// representation every query path (search, stats, export) serves from.
   const FlatHcdIndex& Flat();
 
-  /// Memoized searcher over Coreness() and Flat(); constructing it runs
-  /// the PBKS preprocessing (stage "search.preprocess").
-  SubgraphSearcher& Searcher();
+  /// Memoized eager search index over Coreness() and Flat(); constructing
+  /// it runs the PBKS preprocessing and both primary-value passes (stages
+  /// "search.preprocess", "search.primary_a", "search.primary_b").
+  const SearchIndex& Searcher();
 
-  /// Search via the cached searcher (stages "search.primary_a" /
-  /// "search.primary_b" on first use per type, then "search.score").
+  /// Finishes every query-side stage (Coreness, Forest, Flat, Searcher) and
+  /// returns the immutable serve-phase view over them. Cheap once built;
+  /// repeated calls return snapshots over the same cached stages. The
+  /// engine must outlive every snapshot (and its copies).
+  QuerySnapshot Snapshot();
+
+  /// Search via the cached search index (one "search.score" stage per
+  /// call). Equivalent to Snapshot().Search(metric) with the engine's own
+  /// reusable workspace.
   SearchResult Search(Metric metric);
 
  private:
@@ -129,7 +144,8 @@ class HcdEngine {
   std::optional<VertexRank> rank_;
   std::optional<HcdForest> forest_;
   std::optional<FlatHcdIndex> flat_;
-  std::unique_ptr<SubgraphSearcher> searcher_;
+  std::optional<SearchIndex> search_index_;
+  SearchWorkspace workspace_;
 };
 
 }  // namespace hcd

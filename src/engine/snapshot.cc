@@ -1,0 +1,25 @@
+#include "engine/snapshot.h"
+
+#include <utility>
+
+namespace hcd {
+
+SearchHit QuerySnapshot::Search(Metric metric, SearchWorkspace* ws,
+                                TelemetrySink* sink) const {
+  ScopedStage stage(sink, "search.score");
+  const SearchHit hit = SearchInto(*flat_, *search_, metric, ws);
+  stage.AddCounter("nodes", flat_->NumNodes());
+  return hit;
+}
+
+SearchResult QuerySnapshot::Search(Metric metric) const {
+  SearchWorkspace ws;
+  const SearchHit hit = Search(metric, &ws);
+  SearchResult result;
+  result.best_node = hit.best_node;
+  result.best_score = hit.best_score;
+  result.scores = std::move(ws.scores);
+  return result;
+}
+
+}  // namespace hcd

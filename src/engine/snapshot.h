@@ -1,0 +1,69 @@
+#ifndef HCD_ENGINE_SNAPSHOT_H_
+#define HCD_ENGINE_SNAPSHOT_H_
+
+#include <span>
+
+#include "common/telemetry.h"
+#include "core/core_decomposition.h"
+#include "graph/graph.h"
+#include "hcd/flat_index.h"
+#include "search/metrics.h"
+#include "search/pbks.h"
+#include "search/search_index.h"
+
+namespace hcd {
+
+/// The serve-phase view of one built pipeline: graph + coreness + frozen
+/// FlatHcdIndex + eager SearchIndex, every piece immutable. Produced by
+/// HcdEngine::Snapshot() after the build phase has finished all query-side
+/// stages; from then on any number of worker threads may call Search on one
+/// snapshot concurrently, each with its own SearchWorkspace — the same
+/// build-once/serve-many shape as an inference server's loaded model.
+///
+/// A snapshot is a cheaply copyable value (four pointers): copies share the
+/// same underlying state, so handing one to each worker costs nothing. The
+/// engine that produced it owns that state and must outlive every copy;
+/// engine mutators are off-limits while workers hold snapshots (the engine
+/// only appends new stages, never invalidates built ones, so taking further
+/// snapshots from the orchestrating thread stays safe).
+class QuerySnapshot {
+ public:
+  QuerySnapshot(const Graph& graph, const CoreDecomposition& cd,
+                const FlatHcdIndex& flat, const SearchIndex& search)
+      : graph_(&graph), cd_(&cd), flat_(&flat), search_(&search) {}
+
+  const Graph& graph() const { return *graph_; }
+  const CoreDecomposition& coreness() const { return *cd_; }
+  const FlatHcdIndex& flat() const { return *flat_; }
+  const SearchIndex& search_index() const { return *search_; }
+
+  /// Hot serve path: scores every tree node under `metric` into
+  /// `ws->scores` and returns the best node. No allocation once the
+  /// workspace is warm, no shared mutable state — safe to call from many
+  /// threads at once. With a sink, records a "search.score" stage (counter:
+  /// nodes); concurrent callers must pass a thread-safe sink
+  /// (ConcurrentTelemetrySink).
+  SearchHit Search(Metric metric, SearchWorkspace* ws,
+                   TelemetrySink* sink = nullptr) const;
+
+  /// Allocating convenience wrapper: same scores and best node as the
+  /// workspace overload, returned as a self-contained SearchResult.
+  SearchResult Search(Metric metric) const;
+
+  /// Vertices of a search hit's k-core: an O(1) view into the frozen
+  /// index's preorder vertex array (empty if nothing was found).
+  std::span<const VertexId> CoreVertices(TreeNodeId node) const {
+    if (node == kInvalidNode) return {};
+    return flat_->CoreVertices(node);
+  }
+
+ private:
+  const Graph* graph_;
+  const CoreDecomposition* cd_;
+  const FlatHcdIndex* flat_;
+  const SearchIndex* search_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_ENGINE_SNAPSHOT_H_

@@ -6,7 +6,6 @@
 #include "common/check.h"
 #include "graph/subgraph.h"
 #include "search/pbks.h"
-#include "search/searcher.h"
 
 namespace hcd {
 namespace {
@@ -22,11 +21,13 @@ double AverageDegreeOf(const Graph& graph,
 
 DenseSubgraph PbksDensest(const Graph& graph, const CoreDecomposition& cd,
                           const FlatHcdIndex& index) {
-  SubgraphSearcher searcher(graph, cd, index);
-  const SearchResult result = searcher.Search(Metric::kAverageDegree);
+  // One-shot PBKS: only the type-A pass this metric needs (an eager
+  // SearchIndex would also pay the O(m^1.5) type-B pass).
+  const SearchResult result =
+      PbksSearch(graph, cd, index, Metric::kAverageDegree);
   DenseSubgraph out;
   if (result.best_node == kInvalidNode) return out;
-  const std::span<const VertexId> verts = searcher.CoreVertices(result);
+  const std::span<const VertexId> verts = index.CoreVertices(result.best_node);
   out.vertices.assign(verts.begin(), verts.end());
   out.average_degree = result.best_score;
   return out;

@@ -33,6 +33,16 @@ const char* MetricName(Metric metric) {
   return "unknown";
 }
 
+bool ParseMetric(std::string_view name, Metric* metric) {
+  for (Metric m : kAllMetrics) {
+    if (name == MetricName(m)) {
+      *metric = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 double EvaluateMetric(Metric metric, const PrimaryValues& pv,
                       const GraphGlobals& globals) {
   const double n_s = static_cast<double>(pv.n_s);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace hcd {
 
@@ -40,6 +41,12 @@ inline constexpr Metric kAllMetrics[] = {
 bool IsTypeB(Metric metric);
 
 const char* MetricName(Metric metric);
+
+/// Parses a metric by its MetricName (e.g. "conductance"); returns false
+/// (and leaves `*metric` untouched) on an unknown name. Shared by the CLI,
+/// the examples and the benchmarks, so the accepted spellings are exactly
+/// the names MetricName prints.
+bool ParseMetric(std::string_view name, Metric* metric);
 
 /// Whole-graph quantities some metrics need (cut ratio, modularity).
 struct GraphGlobals {

@@ -53,8 +53,8 @@ SearchResult ScoreNodes(const FlatHcdIndex& index, Metric metric,
 
 /// One-call parallel subgraph search (PBKS, Section IV-D): preprocessing,
 /// the right primary-value computation for `metric`, and scoring. Callers
-/// evaluating several metrics should use SubgraphSearcher (searcher.h) to
-/// reuse the preprocessing and primary values.
+/// evaluating several metrics should build a SearchIndex (search_index.h)
+/// once and score against it, reusing the preprocessing and primary values.
 SearchResult PbksSearch(const Graph& graph, const CoreDecomposition& cd,
                         const FlatHcdIndex& index, Metric metric);
 

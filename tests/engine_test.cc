@@ -58,7 +58,7 @@ TEST(EngineTest, StagesAreMemoized) {
   const VertexRank* rank = &engine.Rank();
   const HcdForest* forest = &engine.Forest();
   const FlatHcdIndex* flat = &engine.Flat();
-  SubgraphSearcher* searcher = &engine.Searcher();
+  const SearchIndex* searcher = &engine.Searcher();
   // Second calls return the same objects, not recomputations.
   EXPECT_EQ(cd, &engine.Coreness());
   EXPECT_EQ(rank, &engine.Rank());

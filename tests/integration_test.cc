@@ -15,7 +15,7 @@
 #include "search/bks.h"
 #include "search/densest.h"
 #include "search/pbks.h"
-#include "search/searcher.h"
+#include "search/search_index.h"
 
 namespace hcd {
 namespace {

@@ -102,14 +102,36 @@ TEST(Metrics, TriangleDensity) {
 
 TEST(Metrics, DegenerateDenominators) {
   GraphGlobals g{10, 20};
+  // Empty subgraph: every ratio's denominator is 0, every metric scores 0.
   PrimaryValues empty;
-  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kAverageDegree, empty, g), 0.0);
-  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity, empty, g), 0.0);
-  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kClusteringCoefficient, empty, g),
-                   0.0);
+  for (Metric m : kAllMetrics) {
+    EXPECT_DOUBLE_EQ(EvaluateMetric(m, empty, g), 0.0) << MetricName(m);
+  }
   PrimaryValues lone{.n_s = 1};
   EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kConductance, lone, g), 0.0);
   EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity, lone, g), 0.0);
+}
+
+TEST(Metrics, TripletFreeSubgraphScoresZero) {
+  // A single edge has no wedges, so both triangle metrics divide by a zero
+  // triplet count.
+  GraphGlobals g{10, 20};
+  PrimaryValues edge{.n_s = 2, .edges2 = 2, .boundary = 4};
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kClusteringCoefficient, edge, g),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kTriangleDensity, edge, g), 0.0);
+}
+
+TEST(Metrics, ParseAndNameRoundTrip) {
+  for (Metric m : kAllMetrics) {
+    Metric parsed;
+    ASSERT_TRUE(ParseMetric(MetricName(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  Metric untouched = Metric::kConductance;
+  EXPECT_FALSE(ParseMetric("average_degree", &untouched));  // underscore typo
+  EXPECT_FALSE(ParseMetric("", &untouched));
+  EXPECT_EQ(untouched, Metric::kConductance);
 }
 
 }  // namespace

@@ -10,7 +10,7 @@
 #include "search/bks.h"
 #include "search/brute.h"
 #include "search/pbks.h"
-#include "search/searcher.h"
+#include "search/search_index.h"
 #include "tests/test_util.h"
 
 namespace hcd {
@@ -122,20 +122,22 @@ TEST(Pbks, PaperExample2BestAverageDegreeIsS31) {
   EXPECT_NEAR(r.best_score, 40.0 / 9.0, 1e-12);
 }
 
-TEST(Pbks, SearcherCachesAndAgreesWithOneShot) {
+TEST(Pbks, SearchIndexAgreesWithOneShot) {
   Pipeline p = Build(BarabasiAlbert(250, 4, 21));
-  SubgraphSearcher searcher(p.graph, p.cd, p.flat);
+  SearchIndex sidx(p.graph, p.cd, p.flat);
+  SearchWorkspace ws;
   for (Metric metric : kAllMetrics) {
     SCOPED_TRACE(MetricName(metric));
-    SearchResult cached = searcher.Search(metric);
+    SearchHit hit = SearchInto(p.flat, sidx, metric, &ws);
     SearchResult oneshot = PbksSearch(p.graph, p.cd, p.flat, metric);
-    EXPECT_EQ(cached.scores, oneshot.scores);
-    EXPECT_EQ(cached.best_node, oneshot.best_node);
+    EXPECT_EQ(ws.scores, oneshot.scores);
+    EXPECT_EQ(hit.best_node, oneshot.best_node);
+    EXPECT_EQ(hit.best_score, oneshot.best_score);
   }
-  // CoreVertices of the best node round-trips through the forest.
-  SearchResult r = searcher.Search(Metric::kAverageDegree);
-  auto core = searcher.CoreVertices(r);
-  EXPECT_EQ(core.size(), p.flat.CoreSize(r.best_node));
+  // CoreVertices of the best node round-trips through the frozen index.
+  SearchHit hit = SearchInto(p.flat, sidx, Metric::kAverageDegree, &ws);
+  auto core = p.flat.CoreVertices(hit.best_node);
+  EXPECT_EQ(core.size(), p.flat.CoreSize(hit.best_node));
 }
 
 TEST(Pbks, WholeGraphScoresMatchDirectComputation) {

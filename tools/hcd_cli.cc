@@ -11,6 +11,8 @@
 //   hcd_cli truss <graph> [flags]
 //   hcd_cli influential <graph> <k> <r> [seed] [flags]
 //   hcd_cli bestk <graph> <metric> [flags]
+//   hcd_cli query-bench <graph> [--query-threads=N] [--queries=N]
+//                               [--metrics=a,b,...] [flags]
 //
 // Every command accepts --algo=phcd|lcps|naive, --threads=N,
 // --io-threads=N and --json; unknown or malformed flags abort with usage
@@ -19,6 +21,11 @@
 // preprocessing) is computed at most once per invocation; --json dumps the
 // per-stage telemetry report, including the ingest sub-stages
 // (load.read/parse/remap/build for text, load.read/validate for binary).
+//
+// query-bench exercises the build/serve split end to end: it builds one
+// immutable QuerySnapshot, then serves a mixed-metric workload from
+// --query-threads concurrent workers (each with a private reusable
+// SearchWorkspace) and reports QPS plus nearest-rank p50/p95/p99 latency.
 //
 // <graph> is loaded as binary when the path ends in ".bin", else as an
 // edge-list text file.
@@ -31,9 +38,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "engine/engine.h"
@@ -47,6 +57,7 @@
 #include "parallel/omp_utils.h"
 #include "search/best_k.h"
 #include "search/influential.h"
+#include "search/metrics.h"
 #include "truss/truss_decomposition.h"
 #include "truss/truss_hierarchy.h"
 
@@ -89,6 +100,13 @@ int Usage() {
       "  hcd_cli truss <graph> [flags]\n"
       "  hcd_cli influential <graph> <k> <r> [seed] [flags]\n"
       "  hcd_cli bestk <graph> <metric> [flags]\n"
+      "  hcd_cli query-bench <graph> [flags]\n"
+      "flags (query-bench):\n"
+      "  --query-threads=N        concurrent query workers (default:\n"
+      "                           hardware threads)\n"
+      "  --queries=N              total queries to serve (default 1000)\n"
+      "  --metrics=a,b,...        workload metric mix (default: all\n"
+      "                           metrics, round-robin)\n"
       "flags (any command):\n"
       "  --algo=phcd|lcps|naive   HCD construction algorithm (default phcd)\n"
       "  --threads=N              OpenMP threads for every stage (default:\n"
@@ -107,7 +125,23 @@ struct CliArgs {
   std::vector<std::string> pos;
   EngineOptions options;
   bool json = false;
+  // Serve-phase flags (query-bench only; rejected by every other command
+  // via `serve_flag`, which remembers the first one seen).
+  int query_threads = 0;  ///< 0: use the hardware thread count
+  int queries = 1000;
+  std::vector<hcd::Metric> workload;  ///< empty: all metrics, round-robin
+  std::string serve_flag;
 };
+
+bool MetricByName(const std::string& name, hcd::Metric* metric) {
+  if (hcd::ParseMetric(name, metric)) return true;
+  std::fprintf(stderr, "unknown metric '%s'; choose from:", name.c_str());
+  for (hcd::Metric m : hcd::kAllMetrics) {
+    std::fprintf(stderr, " %s", hcd::MetricName(m));
+  }
+  std::fprintf(stderr, "\n");
+  return false;
+}
 
 bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
   for (int i = from; i < argc; ++i) {
@@ -151,6 +185,52 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
         return false;
       }
       out->options.io_threads = static_cast<int>(threads);
+    } else if (arg.rfind("--query-threads=", 0) == 0) {
+      const std::string value = arg.substr(16);
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --query-threads value '%s' (want a "
+                     "positive integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->query_threads = static_cast<int>(threads);
+      if (out->serve_flag.empty()) out->serve_flag = arg;
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long queries = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || queries <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --queries value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->queries = static_cast<int>(queries);
+      if (out->serve_flag.empty()) out->serve_flag = arg;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      std::string list = arg.substr(10);
+      out->workload.clear();
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        const std::string name = list.substr(start, end - start);
+        hcd::Metric metric;
+        if (!MetricByName(name, &metric)) {
+          std::fprintf(stderr, "error: bad --metrics value '%s'\n",
+                       list.c_str());
+          return false;
+        }
+        out->workload.push_back(metric);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (out->serve_flag.empty()) out->serve_flag = arg;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -170,21 +250,6 @@ void PrintJsonReport(const char* command, const CliArgs& args,
               args.options.threads, engine.graph().NumVertices(),
               static_cast<unsigned long long>(engine.graph().NumEdges()),
               extra.c_str(), engine.telemetry().ToJson().c_str());
-}
-
-bool MetricByName(const std::string& name, hcd::Metric* metric) {
-  for (hcd::Metric m : hcd::kAllMetrics) {
-    if (name == hcd::MetricName(m)) {
-      *metric = m;
-      return true;
-    }
-  }
-  std::fprintf(stderr, "unknown metric '%s'; choose from:", name.c_str());
-  for (hcd::Metric m : hcd::kAllMetrics) {
-    std::fprintf(stderr, " %s", hcd::MetricName(m));
-  }
-  std::fprintf(stderr, "\n");
-  return false;
 }
 
 int CmdGen(const CliArgs& args) {
@@ -484,6 +549,77 @@ int CmdInfluential(const CliArgs& args) {
   return 0;
 }
 
+int CmdQueryBench(const CliArgs& args) {
+  if (args.pos.size() != 1) return Usage();
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
+  if (!s.ok()) return Fail(s);
+
+  std::vector<hcd::Metric> workload = args.workload;
+  if (workload.empty()) {
+    workload.assign(std::begin(hcd::kAllMetrics), std::end(hcd::kAllMetrics));
+  }
+  const int workers = args.query_threads > 0 ? args.query_threads
+                                             : hcd::HardwareThreads();
+  const int queries = args.queries;
+
+  // Build phase: every expensive stage runs here, once, on this thread.
+  const hcd::QuerySnapshot snapshot = engine->Snapshot();
+
+  // Serve phase: `workers` threads score the mixed workload concurrently
+  // against the shared snapshot. Worker t serves query ids t, t+workers,
+  // ... so every worker sees every metric in the mix. Each worker owns a
+  // reusable SearchWorkspace and a private LatencyRecorder (merged after
+  // the join); the engine telemetry gets one aggregate "serve" stage
+  // rather than one record per query.
+  std::vector<hcd::bench::LatencyRecorder> recorders(workers);
+  double wall = 0.0;
+  {
+    ScopedStage stage(engine->sink(), "serve");
+    hcd::Timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        hcd::SearchWorkspace ws;
+        for (int q = t; q < queries; q += workers) {
+          const hcd::Metric metric = workload[q % workload.size()];
+          hcd::Timer query_timer;
+          snapshot.Search(metric, &ws);
+          recorders[t].Record(query_timer.Seconds());
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    wall = timer.Seconds();
+    stage.AddCounter("queries", queries);
+    stage.AddCounter("workers", workers);
+  }
+  hcd::bench::LatencyRecorder latencies;
+  for (const auto& r : recorders) latencies.Merge(r);
+  const double qps = static_cast<double>(queries) / wall;
+
+  if (args.json) {
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"result\":{\"queries\":%d,\"query_threads\":%d,"
+                  "\"qps\":%.1f,\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,"
+                  "\"p99\":%.1f}}",
+                  queries, workers, qps, latencies.P50() * 1e6,
+                  latencies.P95() * 1e6, latencies.P99() * 1e6);
+    PrintJsonReport("query-bench", args, *engine, extra);
+    return 0;
+  }
+  std::printf("served %d queries (%zu-metric mix) with %d workers over one "
+              "snapshot\n",
+              queries, workload.size(), workers);
+  std::printf("QPS   %.0f\n", qps);
+  std::printf("p50   %.1f us\n", latencies.P50() * 1e6);
+  std::printf("p95   %.1f us\n", latencies.P95() * 1e6);
+  std::printf("p99   %.1f us\n", latencies.P99() * 1e6);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -491,6 +627,11 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   CliArgs args;
   if (!ParseCliArgs(argc, argv, 2, &args)) return Usage();
+  if (cmd != "query-bench" && !args.serve_flag.empty()) {
+    std::fprintf(stderr, "error: flag '%s' is only valid for query-bench\n",
+                 args.serve_flag.c_str());
+    return Usage();
+  }
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "convert") return CmdConvert(args);
   if (cmd == "stats") return CmdStats(args);
@@ -500,5 +641,6 @@ int main(int argc, char** argv) {
   if (cmd == "truss") return CmdTruss(args);
   if (cmd == "influential") return CmdInfluential(args);
   if (cmd == "bestk") return CmdBestK(args);
+  if (cmd == "query-bench") return CmdQueryBench(args);
   return Usage();
 }
