@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/trace.h"
 #include "core/core_decomposition.h"
 #include "core/julienne.h"
 #include "graph/generators.h"
@@ -144,6 +145,48 @@ void BM_TypeAPrimary(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TypeAPrimary);
+
+// Tracer overhead, disabled path: no tracer installed, so the ScopedSpan
+// pair is one relaxed atomic load plus a null test. This is the cost every
+// instrumented call site pays in a normal (untraced) run.
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  if (hcd::Tracer::Current() != nullptr) {
+    state.SkipWithError("a tracer is unexpectedly installed");
+    return;
+  }
+  for (auto _ : state) {
+    hcd::ScopedSpan span("bench.disabled");
+    span.AddArg("i", 1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+// Tracer overhead, enabled path: two clock reads plus one buffer append per
+// span. Drained periodically so iteration count, not memory, bounds the
+// run; the drain runs outside the timing window.
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  hcd::Tracer tracer;
+  tracer.Install();
+  size_t since_drain = 0;
+  for (auto _ : state) {
+    {
+      hcd::ScopedSpan span("bench.enabled");
+      span.AddArg("i", 1);
+      benchmark::ClobberMemory();
+    }
+    if (++since_drain >= (size_t{1} << 16)) {
+      state.PauseTiming();
+      since_drain = 0;
+      tracer.Drain();
+      state.ResumeTiming();
+    }
+  }
+  tracer.Uninstall();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanEnabled);
 
 void BM_TypeBPrimary(benchmark::State& state) {
   const auto& f = GetFixture();

@@ -75,6 +75,10 @@ int main() {
     for (int workers : hcd::bench::ThreadSweep()) {
       const ThroughputPoint point = RunWorkload(snapshot, workers, queries);
       if (workers == 1) base_qps = point.qps;
+      // Baseline row carries the wall seconds of the whole workload (QPS is
+      // recoverable as queries/seconds).
+      hcd::bench::ReportBaseline("query_throughput", ds.name, workers,
+                                 static_cast<double>(queries) / point.qps);
       std::printf("%-4s %8u | %8d %10.0f %7.2fx | %10.1f %10.1f %10.1f\n",
                   ds.name.c_str(), snapshot.flat().NumNodes(), workers,
                   point.qps, point.qps / base_qps,

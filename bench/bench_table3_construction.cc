@@ -79,6 +79,11 @@ int main() {
         pmax, [&] { hcd::RcComputeParents(g, cd, forest); });
     const double frzp = FreezeSeconds(g, pmax);
 
+    hcd::bench::ReportBaseline("table3_phcd", ds.name, 1, phcd1);
+    hcd::bench::ReportBaseline("table3_lcps", ds.name, 1, lcps);
+    hcd::bench::ReportBaseline("table3_phcd", ds.name, pmax, phcdp);
+    hcd::bench::ReportBaseline("table3_freeze", ds.name, pmax, frzp);
+
     std::printf("%-4s | %10.3f %6.2fx %6.2fx | %10.3f %6.2fx %7.2fx | %8.3f\n",
                 ds.name.c_str(), phcd1, lb1 / phcd1, lcps / phcd1, phcdp,
                 lbp / phcdp, rcp / phcdp, frzp);

@@ -5,9 +5,12 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "parallel/omp_utils.h"
 
@@ -74,6 +77,27 @@ inline double TimeWithThreads(int threads, const std::function<void()>& fn,
 /// 40-core box; this machine's hardware concurrency is reported alongside
 /// so readers can interpret >hardware counts as oversubscription.
 inline std::vector<int> ThreadSweep() { return {1, 2, 4, 8}; }
+
+/// Appends one machine-readable measurement row to the file named by the
+/// HCD_BENCH_BASELINE environment variable (JSON Lines: one object per
+/// row with bench / dataset / threads / seconds). A no-op when the
+/// variable is unset, so interactive runs stay table-only;
+/// scripts/run_benchmarks.sh sets it and folds the rows into
+/// BENCH_baseline.json for regression tracking across commits.
+inline void ReportBaseline(const std::string& bench,
+                           const std::string& dataset, int threads,
+                           double seconds) {
+  const char* path = std::getenv("HCD_BENCH_BASELINE");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"dataset\":\"%s\",\"threads\":%d,"
+               "\"seconds\":%.9g}\n",
+               JsonEscape(bench).c_str(), JsonEscape(dataset).c_str(),
+               threads, seconds);
+  std::fclose(f);
+}
 
 inline void PrintHardwareBanner(const char* title) {
   std::printf("== %s ==\n", title);

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validates a metrics file written by hcd_cli --metrics-out.
+
+For Prometheus text exposition (the default format): checks the HELP/TYPE
+structure, that histogram bucket series are cumulative and end in an +Inf
+bucket equal to the _count series, and optionally that a named histogram's
+total count matches an expected value (e.g. query-bench's --queries).
+
+For .json files: checks the document parses and has the metrics envelope.
+
+Usage:
+  check_metrics.py METRICS_FILE [--expect-histogram-count=NAME=N ...]
+
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def check_json(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        print("metrics array missing")
+        return 1
+    for m in metrics:
+        if "name" not in m or "type" not in m:
+            print(f"metric missing name/type: {m}")
+            return 1
+    print(f"OK: {len(metrics)} metrics (JSON)")
+    return 0
+
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
+
+
+def check_prometheus(path: str, expectations: dict) -> int:
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    types: dict = {}
+    # (family, non-le labels) -> list of (le, cumulative count), counts
+    buckets: dict = {}
+    counts: dict = {}
+
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                print(f"line {i + 1}: malformed comment: {line!r}")
+                return 1
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram"):
+                    print(f"line {i + 1}: unknown type {parts[3]!r}")
+                    return 1
+                types[parts[2]] = parts[3]
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            print(f"line {i + 1}: malformed sample: {line!r}")
+            return 1
+        name, labels, value = (
+            match.group("name"),
+            match.group("labels") or "",
+            match.group("value"),
+        )
+        if name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            le_match = re.search(r'le="([^"]*)"\}?$', labels)
+            if not le_match:
+                print(f"line {i + 1}: bucket sample without le: {line!r}")
+                return 1
+            rest = re.sub(r',?le="[^"]*"', "", labels)
+            if rest == "{}":  # le was the only label
+                rest = ""
+            buckets.setdefault((family, rest), []).append(
+                (le_match.group(1), int(value))
+            )
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], labels)] = int(value)
+        else:
+            float(value)  # must at least be numeric
+
+    for (family, labels), series in buckets.items():
+        if types.get(family) != "histogram":
+            print(f"{family}: bucket series but TYPE is {types.get(family)!r}")
+            return 1
+        values = [count for _, count in series]
+        if values != sorted(values):
+            print(f"{family}{labels}: bucket series is not cumulative: {values}")
+            return 1
+        if series[-1][0] != "+Inf":
+            print(f"{family}{labels}: last bucket is {series[-1][0]!r}, want +Inf")
+            return 1
+        if (family, labels) not in counts:
+            print(f"{family}{labels}: no _count sample")
+            return 1
+        if counts[(family, labels)] != series[-1][1]:
+            print(
+                f"{family}{labels}: _count {counts[(family, labels)]} != "
+                f"+Inf bucket {series[-1][1]}"
+            )
+            return 1
+
+    for family, expected in expectations.items():
+        total = counts.get((family, ""))
+        if total is None:
+            print(f"{family}: expected histogram not found (unlabeled series)")
+            return 1
+        if total != expected:
+            print(f"{family}: count {total} != expected {expected}")
+            return 1
+
+    print(f"OK: {len(types)} families, {len(buckets)} histogram series")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="path to the metrics file")
+    parser.add_argument(
+        "--expect-histogram-count",
+        action="append",
+        default=[],
+        metavar="NAME=N",
+        help="unlabeled histogram NAME must have _count == N (repeatable)",
+    )
+    args = parser.parse_args()
+
+    expectations = {}
+    for spec in args.expect_histogram_count:
+        name, _, value = spec.partition("=")
+        expectations[name] = int(value)
+
+    if args.metrics.endswith(".json"):
+        if expectations:
+            print("--expect-histogram-count only applies to Prometheus files")
+            return 2
+        return check_json(args.metrics)
+    return check_prometheus(args.metrics, expectations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

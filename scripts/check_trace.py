@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by hcd_cli --trace-out.
+
+Checks that the file is strict JSON in the trace-event envelope, that every
+event is a complete-span ("ph":"X") record with name/ts/dur/tid, and
+optionally that the trace covers enough distinct subsystems (the dotted
+prefix of the span name) and thread ids, and contains required span names.
+
+Usage:
+  check_trace.py TRACE.json [--min-subsystems=N] [--min-tids=N]
+                 [--require=SPAN_NAME ...]
+
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("--min-subsystems", type=int, default=0)
+    parser.add_argument("--min-tids", type=int, default=0)
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        help="span name that must appear at least once (repeatable)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+
+    if doc.get("displayTimeUnit") != "ns":
+        print(f"displayTimeUnit is {doc.get('displayTimeUnit')!r}, want 'ns'")
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("traceEvents missing or empty")
+        return 1
+
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                print(f"event {i} is missing {key!r}: {event}")
+                return 1
+        if event["ph"] != "X":
+            print(f"event {i} has ph={event['ph']!r}, want 'X'")
+            return 1
+        if event["ts"] < 0 or event["dur"] < 0:
+            print(f"event {i} has negative ts/dur: {event}")
+            return 1
+
+    names = {e["name"] for e in events}
+    subsystems = {n.split(".")[0] for n in names}
+    tids = {e["tid"] for e in events}
+
+    if len(subsystems) < args.min_subsystems:
+        print(
+            f"only {len(subsystems)} subsystems {sorted(subsystems)}, "
+            f"want >= {args.min_subsystems}"
+        )
+        return 1
+    if len(tids) < args.min_tids:
+        print(f"only {len(tids)} thread ids {sorted(tids)}, want >= {args.min_tids}")
+        return 1
+    for required in args.require:
+        if required not in names:
+            print(f"required span {required!r} not found in {sorted(names)}")
+            return 1
+
+    print(
+        f"OK: {len(events)} events, {len(subsystems)} subsystems "
+        f"{sorted(subsystems)}, {len(tids)} thread ids"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Runs every benchmark binary in order, teeing combined output.
+# Runs every benchmark binary in order, teeing combined output, and folds
+# the per-bench measurement rows into a machine-readable baseline file.
 #
-#   scripts/run_benchmarks.sh [build_dir] [out_file]
+#   scripts/run_benchmarks.sh [build_dir] [out_file] [baseline_json]
+#
+# Benchmarks emit one JSON Lines row per measurement (bench, dataset,
+# threads, seconds) into HCD_BENCH_BASELINE; this script converts the rows
+# to one JSON array (BENCH_baseline.json by default) so successive commits
+# can be diffed mechanically.
 #
 # HCD_BENCH_SMALL=1 in the environment shrinks all datasets ~16x.
 set -u
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
+BASELINE="${3:-BENCH_baseline.json}"
+
+ROWS="$(mktemp)"
+trap 'rm -f "$ROWS"' EXIT
+export HCD_BENCH_BASELINE="$ROWS"
 
 : > "$OUT"
 for b in "$BUILD_DIR"/bench/bench_*; do
@@ -17,3 +28,23 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   echo | tee -a "$OUT"
 done
 echo "wrote $OUT"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$ROWS" "$BASELINE" <<'EOF'
+import json, sys
+
+rows = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+with open(sys.argv[2], "w") as f:
+    json.dump(rows, f, indent=1)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(rows)} measurements)")
+EOF
+else
+  cp "$ROWS" "$BASELINE.jsonl"
+  echo "python3 not found; wrote raw rows to $BASELINE.jsonl"
+fi

@@ -16,6 +16,41 @@ const std::string kEmpty;
 
 }  // namespace
 
+void ScopedStage::Finish() {
+  record_.seconds = timer_.Seconds();
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = record_.stage;
+    span.ts_ns = start_ns_;
+    span.dur_ns = tracer_->NowNs() - start_ns_;
+    span.args.reserve(record_.counters.size());
+    for (const StageCounter& c : record_.counters) {
+      span.args.push_back({c.name, c.value, "", false});
+    }
+    tracer_->RecordSpan(std::move(span));
+  }
+  if (registry_ != nullptr) {
+    const MetricLabels stage_label = {{"stage", record_.stage}};
+    registry_
+        ->GetHistogram("hcd_stage_seconds",
+                       "Wall time of pipeline stages by stage name",
+                       stage_label)
+        ->Observe(record_.seconds);
+    registry_
+        ->GetCounter("hcd_stage_runs_total",
+                     "Completed pipeline stage executions", stage_label)
+        ->Increment();
+    for (const StageCounter& c : record_.counters) {
+      registry_
+          ->GetCounter("hcd_stage_counter_total",
+                       "Accumulated per-stage detail counters",
+                       {{"stage", record_.stage}, {"counter", c.name}})
+          ->Increment(c.value);
+    }
+  }
+  if (sink_ != nullptr) sink_->RecordStage(record_);
+}
+
 double StageTelemetry::TotalSeconds() const {
   double total = 0.0;
   for (const StageRecord& r : records_) total += r.seconds;

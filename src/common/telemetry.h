@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace hcd {
 
@@ -96,31 +98,54 @@ class ConcurrentTelemetrySink : public TelemetrySink {
 };
 
 /// RAII stage timer: starts on construction and reports the stage to the
-/// sink on destruction. A null sink makes every operation a no-op, which is
-/// how un-instrumented library calls stay free.
+/// sink on destruction.
+///
+/// The stage also bridges into the process-wide observability layer when
+/// one is installed: with a Tracer::Current() it records a span (counters
+/// become span args), and with a MetricsRegistry::Current() it observes the
+/// stage's wall time in the `hcd_stage_seconds{stage=...}` histogram family
+/// and bumps `hcd_stage_runs_total` / `hcd_stage_counter_total`. With a
+/// null sink and neither installed, every operation reduces to pointer
+/// tests (two relaxed atomic loads at construction) — no clock read, no
+/// allocation — which is how un-instrumented library calls stay free.
 class ScopedStage {
  public:
-  ScopedStage(TelemetrySink* sink, std::string stage) : sink_(sink) {
-    if (sink_ != nullptr) record_.stage = std::move(stage);
+  ScopedStage(TelemetrySink* sink, std::string stage)
+      : sink_(sink),
+        tracer_(Tracer::Current()),
+        registry_(MetricsRegistry::Current()) {
+    if (!Active()) return;
+    record_.stage = std::move(stage);
+    if (tracer_ != nullptr) start_ns_ = tracer_->NowNs();
   }
   ~ScopedStage() {
-    if (sink_ == nullptr) return;
-    record_.seconds = timer_.Seconds();
-    sink_->RecordStage(record_);
+    if (!Active()) return;
+    Finish();
   }
 
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
 
-  /// Attaches a counter to the stage record (no-op without a sink).
+  /// Attaches a counter to the stage record (no-op when inactive).
   void AddCounter(std::string name, uint64_t value) {
-    if (sink_ != nullptr) record_.counters.push_back({std::move(name), value});
+    if (Active()) record_.counters.push_back({std::move(name), value});
   }
 
  private:
+  bool Active() const {
+    return sink_ != nullptr || tracer_ != nullptr || registry_ != nullptr;
+  }
+
+  /// Out-of-line slow path: reports to the sink, the tracer and the metrics
+  /// registry (whichever are present).
+  void Finish();
+
   TelemetrySink* sink_;
+  Tracer* tracer_;
+  MetricsRegistry* registry_;
   StageRecord record_;
   Timer timer_;
+  uint64_t start_ns_ = 0;
 };
 
 /// Escapes `s` for inclusion in a JSON string literal (quotes, backslashes

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "parallel/omp_utils.h"
 
 namespace hcd {
@@ -93,8 +94,15 @@ CoreDecomposition PkcCoreDecomposition(const Graph& graph, TelemetrySink* sink) 
   const uint32_t max_deg = graph.MaxDegree();
   while (visited < n) {
     uint64_t round = 0;
+    // One span per peeling round (orchestrating thread) plus one per worker
+    // inside the region: the per-worker spans expose the round's load
+    // balance, which a flat per-stage time cannot show.
+    ScopedSpan round_span("pkc.round");
+    round_span.AddArg("level", level);
 #pragma omp parallel reduction(+ : round)
     {
+      ScopedSpan worker_span("pkc.round.worker");
+      worker_span.AddArg("level", level);
       std::vector<VertexId> buff;
 #pragma omp for schedule(static)
       for (int64_t vi = 0; vi < static_cast<int64_t>(n); ++vi) {
@@ -122,6 +130,7 @@ CoreDecomposition PkcCoreDecomposition(const Graph& graph, TelemetrySink* sink) 
         }
       }
     }
+    round_span.AddArg("peeled", round);
     if (round > 0) observed_kmax = level;
     visited += round;
     ++level;

@@ -1,14 +1,22 @@
 #include "engine/snapshot.h"
 
+#include <string>
 #include <utility>
+
+#include "common/trace.h"
 
 namespace hcd {
 
 SearchHit QuerySnapshot::Search(Metric metric, SearchWorkspace* ws,
                                 TelemetrySink* sink) const {
+  // One span per served query, on the serving thread's own timeline, so a
+  // trace of a multi-threaded bench shows per-thread query interleaving.
+  ScopedSpan span("serve.query");
+  span.AddArg("metric", std::string(MetricName(metric)));
   ScopedStage stage(sink, "search.score");
   const SearchHit hit = SearchInto(*flat_, *search_, metric, ws);
   stage.AddCounter("nodes", flat_->NumNodes());
+  span.AddArg("best_node", hit.best_node);
   return hit;
 }
 

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/trace.h"
 #include "graph/binary_format.h"
 #include "graph/builder.h"
 #include "graph/types.h"
@@ -52,8 +53,11 @@ bool PreadParallelChunks(int fd, char* dst, uint64_t size, uint64_t file_off) {
   const uint64_t slices = (size + kSlice - 1) / kSlice;
   std::atomic<bool> ok{true};
   ParallelFor(uint64_t{0}, slices, [&](uint64_t s) {
+    ScopedSpan span("load.read.slice");
     const uint64_t begin = s * kSlice;
     const uint64_t len = std::min(kSlice, size - begin);
+    span.AddArg("slice", s);
+    span.AddArg("bytes", len);
     if (!PreadExact(fd, dst + begin, len, file_off + begin)) {
       ok.store(false, std::memory_order_relaxed);
     }
@@ -238,7 +242,12 @@ Status IngestEdgeListText(const std::string& path, const IngestOptions& options,
     // Static scheduling: only ~threads*8 chunky iterations, so the dynamic
     // wrapper's 512-iteration grain would hand them all to one thread.
     ParallelFor(size_t{0}, num_chunks, [&](size_t c) {
+      // Per-chunk span: worker threads record into their own buffers, so a
+      // trace shows every chunk's parse time and which thread took it.
+      ScopedSpan span("load.parse.chunk");
       parsed[c] = ParseChunk(buf.data(), chunk_begin[c], chunk_begin[c + 1]);
+      span.AddArg("chunk", c);
+      span.AddArg("edges", parsed[c].edges.size());
     });
     for (const ChunkParse& c : parsed) {
       if (c.error != ParseErrorKind::kNone) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/trace.h"
 #include "parallel/omp_utils.h"
 
 namespace hcd {
@@ -228,18 +229,21 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
   // contract so a malformed builder forest fails loudly here instead of
   // producing a cyclic "preorder".
   std::vector<uint32_t> old_child_offsets(num_nodes + 1, 0);
-  for (TreeNodeId t = 0; t < num_nodes; ++t) {
-    const TreeNodeId p = forest.Parent(t);
-    if (p == kInvalidNode) continue;
-    HCD_CHECK_LT(forest.Level(p), forest.Level(t))
-        << "parent level must be below child level";
-    ++old_child_offsets[p + 1];
-  }
-  for (TreeNodeId t = 0; t < num_nodes; ++t) {
-    old_child_offsets[t + 1] += old_child_offsets[t];
-  }
-  std::vector<TreeNodeId> old_children(old_child_offsets[num_nodes]);
+  std::vector<TreeNodeId> old_children;
   {
+    ScopedSpan span("freeze.child_csr");
+    span.AddArg("nodes", num_nodes);
+    for (TreeNodeId t = 0; t < num_nodes; ++t) {
+      const TreeNodeId p = forest.Parent(t);
+      if (p == kInvalidNode) continue;
+      HCD_CHECK_LT(forest.Level(p), forest.Level(t))
+          << "parent level must be below child level";
+      ++old_child_offsets[p + 1];
+    }
+    for (TreeNodeId t = 0; t < num_nodes; ++t) {
+      old_child_offsets[t + 1] += old_child_offsets[t];
+    }
+    old_children.resize(old_child_offsets[num_nodes]);
     std::vector<uint32_t> cursor(old_child_offsets.begin(),
                                  old_child_offsets.end() - 1);
     for (TreeNodeId t = 0; t < num_nodes; ++t) {
@@ -262,9 +266,11 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
   std::vector<TreeNodeId> sub_nodes(num_nodes);
   std::vector<uint32_t> sub_verts(num_nodes);
   {
+    ScopedSpan span("freeze.subtree_counts");
     std::vector<TreeNodeId> old_order;
     std::vector<uint32_t> old_group_offsets;
     BuildDescLevelOrder(old_levels, &old_order, &old_group_offsets);
+    span.AddArg("level_groups", old_group_offsets.size() - 1);
     for (size_t g = 0; g + 1 < old_group_offsets.size(); ++g) {
       const uint32_t begin = old_group_offsets[g];
       const uint32_t end = old_group_offsets[g + 1];
@@ -310,56 +316,73 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
   std::vector<TreeNodeId> old2new(num_nodes);
   // One preorder DFS per tree; trees write disjoint ranges of every output
   // array, so the loop is embarrassingly parallel (dynamic: tree sizes are
-  // typically very skewed).
-#pragma omp parallel for schedule(dynamic)
-  for (int64_t r = 0; r < static_cast<int64_t>(num_roots); ++r) {
-    TreeNodeId next_id = node_base[r];
-    uint32_t next_slot = vert_base[r];
-    std::vector<TreeNodeId> stack = {old_roots[r]};
-    while (!stack.empty()) {
-      const TreeNodeId old_t = stack.back();
-      stack.pop_back();
-      const TreeNodeId new_t = next_id++;
-      old2new[old_t] = new_t;
-      d.levels[new_t] = old_levels[old_t];
-      d.subtree_nodes[new_t] = sub_nodes[old_t];
-      const TreeNodeId old_p = forest.Parent(old_t);
-      // A node's parent is visited before it in the same tree's DFS, so its
-      // new id is already available.
-      d.parents[new_t] = old_p == kInvalidNode ? kInvalidNode : old2new[old_p];
-      d.vertex_offsets[new_t] = next_slot;
-      for (VertexId v : forest.Vertices(old_t)) {
-        d.vertices[next_slot++] = v;
-        d.tid[v] = new_t;
+  // typically very skewed). The parallel/for split exists so each worker can
+  // carry a span of its own — the trace then shows the tree-size skew
+  // directly.
+  {
+    ScopedSpan span("freeze.preorder");
+    span.AddArg("roots", num_roots);
+#pragma omp parallel
+    {
+      ScopedSpan worker_span("freeze.preorder.worker");
+      TreeNodeId numbered = 0;
+#pragma omp for schedule(dynamic)
+      for (int64_t r = 0; r < static_cast<int64_t>(num_roots); ++r) {
+        TreeNodeId next_id = node_base[r];
+        uint32_t next_slot = vert_base[r];
+        std::vector<TreeNodeId> stack = {old_roots[r]};
+        while (!stack.empty()) {
+          const TreeNodeId old_t = stack.back();
+          stack.pop_back();
+          const TreeNodeId new_t = next_id++;
+          old2new[old_t] = new_t;
+          d.levels[new_t] = old_levels[old_t];
+          d.subtree_nodes[new_t] = sub_nodes[old_t];
+          const TreeNodeId old_p = forest.Parent(old_t);
+          // A node's parent is visited before it in the same tree's DFS, so
+          // its new id is already available.
+          d.parents[new_t] =
+              old_p == kInvalidNode ? kInvalidNode : old2new[old_p];
+          d.vertex_offsets[new_t] = next_slot;
+          for (VertexId v : forest.Vertices(old_t)) {
+            d.vertices[next_slot++] = v;
+            d.tid[v] = new_t;
+          }
+          // Push in reverse so children pop (and get numbered) in ascending
+          // builder order.
+          const std::span<const TreeNodeId> kids = old_children_of(old_t);
+          for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+        }
+        d.roots[r] = node_base[r];
+        numbered += sub_nodes[old_roots[r]];
       }
-      // Push in reverse so children pop (and get numbered) in ascending
-      // builder order.
-      const std::span<const TreeNodeId> kids = old_children_of(old_t);
-      for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+      worker_span.AddArg("nodes", numbered);
     }
-    d.roots[r] = node_base[r];
   }
 
   // Child CSR over the new ids. Sibling order is preserved by the DFS, so
   // translating the old lists keeps children ascending.
-  std::vector<TreeNodeId> new2old(num_nodes);
-  ParallelFor(TreeNodeId{0}, num_nodes,
-              [&](TreeNodeId t) { new2old[old2new[t]] = t; });
-  d.child_offsets.resize(static_cast<size_t>(num_nodes) + 1);
-  d.child_offsets[0] = 0;
-  for (TreeNodeId t = 0; t < num_nodes; ++t) {
-    d.child_offsets[t + 1] =
-        d.child_offsets[t] +
-        static_cast<uint32_t>(old_children_of(new2old[t]).size());
-  }
-  d.children.resize(d.child_offsets[num_nodes]);
-  ParallelFor(TreeNodeId{0}, num_nodes, [&](TreeNodeId t) {
-    const std::span<const TreeNodeId> kids = old_children_of(new2old[t]);
-    uint32_t offset = d.child_offsets[t];
-    for (TreeNodeId c : kids) d.children[offset++] = old2new[c];
-  });
+  {
+    ScopedSpan span("freeze.relabel");
+    std::vector<TreeNodeId> new2old(num_nodes);
+    ParallelFor(TreeNodeId{0}, num_nodes,
+                [&](TreeNodeId t) { new2old[old2new[t]] = t; });
+    d.child_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    d.child_offsets[0] = 0;
+    for (TreeNodeId t = 0; t < num_nodes; ++t) {
+      d.child_offsets[t + 1] =
+          d.child_offsets[t] +
+          static_cast<uint32_t>(old_children_of(new2old[t]).size());
+    }
+    d.children.resize(d.child_offsets[num_nodes]);
+    ParallelFor(TreeNodeId{0}, num_nodes, [&](TreeNodeId t) {
+      const std::span<const TreeNodeId> kids = old_children_of(new2old[t]);
+      uint32_t offset = d.child_offsets[t];
+      for (TreeNodeId c : kids) d.children[offset++] = old2new[c];
+    });
 
-  BuildDescLevelOrder(d.levels, &d.desc_level_order, &d.level_group_offsets);
+    BuildDescLevelOrder(d.levels, &d.desc_level_order, &d.level_group_offsets);
+  }
   return out;
 }
 

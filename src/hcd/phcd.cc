@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "hcd/vertex_rank.h"
 #include "parallel/omp_utils.h"
 #include "parallel/union_find.h"
@@ -34,6 +35,9 @@ HcdForest PhcdBuildSerial(const Graph& graph, const CoreDecomposition& cd) {
     const auto shell = vr.Shell(static_cast<uint32_t>(k));
     if (shell.empty()) continue;
     const uint32_t ck = static_cast<uint32_t>(k);
+    ScopedSpan shell_span("phcd.shell");
+    shell_span.AddArg("k", ck);
+    shell_span.AddArg("shell_size", shell.size());
 
     // Steps 1+2 fused (serial-only optimization): capture the pivot of an
     // adjacent k'-core on an edge immediately before the union over that
@@ -123,35 +127,55 @@ HcdForest PhcdBuildParallel(const Graph& graph, const CoreDecomposition& cd) {
     if (shell.empty()) continue;
     const uint32_t ck = static_cast<uint32_t>(k);
     const int64_t shell_size = static_cast<int64_t>(shell.size());
+    // One span per shell level, with nested per-step spans and per-worker
+    // spans inside the two heavy parallel steps, so a trace shows how the
+    // union-find merge work balances across threads at every level.
+    ScopedSpan shell_span("phcd.shell");
+    shell_span.AddArg("k", ck);
+    shell_span.AddArg("shell_size", shell.size());
 
     // Step 1: pivots of existing k'-cores (k' > k) adjacent to the k-shell.
     kpc_pivot.clear();
-#pragma omp parallel num_threads(pmax)
     {
-      auto& mine = local_kpc[ThreadId()];
-      mine.clear();
+      ScopedSpan step_span("phcd.pivots");
+#pragma omp parallel num_threads(pmax)
+      {
+        ScopedSpan worker_span("phcd.pivots.worker");
+        worker_span.AddArg("k", ck);
+        auto& mine = local_kpc[ThreadId()];
+        mine.clear();
 #pragma omp for schedule(dynamic, 256)
-      for (int64_t i = 0; i < shell_size; ++i) {
-        VertexId v = shell[i];
-        for (VertexId u : graph.Neighbors(v)) {
-          if (coreness[u] > ck) {
-            VertexId pvt = uf.GetPivot(u);
-            if (!in_kpc[pvt].exchange(true)) mine.push_back(pvt);
+        for (int64_t i = 0; i < shell_size; ++i) {
+          VertexId v = shell[i];
+          for (VertexId u : graph.Neighbors(v)) {
+            if (coreness[u] > ck) {
+              VertexId pvt = uf.GetPivot(u);
+              if (!in_kpc[pvt].exchange(true)) mine.push_back(pvt);
+            }
           }
         }
       }
-    }
-    for (auto& mine : local_kpc) {
-      kpc_pivot.insert(kpc_pivot.end(), mine.begin(), mine.end());
+      for (auto& mine : local_kpc) {
+        kpc_pivot.insert(kpc_pivot.end(), mine.begin(), mine.end());
+      }
+      step_span.AddArg("pivots", kpc_pivot.size());
     }
 
     // Step 2: connect the k-shell to the existing graph.
-#pragma omp parallel for schedule(dynamic, 256)
-    for (int64_t i = 0; i < shell_size; ++i) {
-      VertexId v = shell[i];
-      for (VertexId u : graph.Neighbors(v)) {
-        if (coreness[u] > ck || (coreness[u] == ck && u > v)) {
-          uf.Union(v, u);
+    {
+      ScopedSpan step_span("phcd.union");
+#pragma omp parallel num_threads(pmax)
+      {
+        ScopedSpan worker_span("phcd.union.worker");
+        worker_span.AddArg("k", ck);
+#pragma omp for schedule(dynamic, 256)
+        for (int64_t i = 0; i < shell_size; ++i) {
+          VertexId v = shell[i];
+          for (VertexId u : graph.Neighbors(v)) {
+            if (coreness[u] > ck || (coreness[u] == ck && u > v)) {
+              uf.Union(v, u);
+            }
+          }
         }
       }
     }
@@ -159,6 +183,7 @@ HcdForest PhcdBuildParallel(const Graph& graph, const CoreDecomposition& cd) {
     // Step 3: one new tree node per pivot; group the shell by pivot. The
     // pivot lookups run in parallel; node membership is then appended
     // serially from the cached pivots (O(|H_k|) with no synchronization).
+    ScopedSpan group_span("phcd.group");
     pivot_of.resize(shell.size());
 #pragma omp parallel for schedule(static)
     for (int64_t i = 0; i < shell_size; ++i) {

@@ -1,0 +1,210 @@
+// Tests for the metrics registry: instrument identity, histogram
+// bucketing, concurrent observation, and both render formats.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "tests/test_util.h"
+
+namespace hcd {
+namespace {
+
+using hcd::testing::JsonValue;
+using hcd::testing::ParseJson;
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.25);
+  EXPECT_EQ(g.Value(), 3.25);
+  g.Set(-1e300);
+  EXPECT_EQ(g.Value(), -1e300);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwoMicroseconds) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 1024e-6);
+}
+
+TEST(Histogram, ObservationsLandInTheFirstCoveringBucket) {
+  Histogram h;
+  h.Observe(0.5e-6);   // <= 1 us -> bucket 0
+  h.Observe(1e-6);     // boundary is inclusive -> bucket 0
+  h.Observe(1.5e-6);   // bucket 1
+  h.Observe(3e-3);     // 3 ms -> first bound >= is 4096 us = bucket 12
+  h.Observe(1e9);      // beyond every finite bound -> overflow
+  h.Observe(-1.0);     // clamps to zero -> bucket 0
+  EXPECT_EQ(h.BucketCount(0), 3u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(12), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumFiniteBuckets), 1u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+}
+
+TEST(Histogram, SumAccumulatesAtNanosecondResolution) {
+  Histogram h;
+  h.Observe(1.5e-6);
+  h.Observe(2.5e-6);
+  EXPECT_NEAR(h.Sum(), 4e-6, 1e-9);
+}
+
+TEST(Histogram, ConcurrentObservesLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(1e-6 * (i % 50));
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  EXPECT_EQ(h.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", "help");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("requests_total", "", {{"code", "500"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled,
+            registry.GetCounter("requests_total", "", {{"code", "500"}}));
+}
+
+TEST(MetricsRegistryDeathTest, TypeConflictAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("shape_shifter");
+  EXPECT_DEATH(registry.GetHistogram("shape_shifter"),
+               "different type");
+}
+
+TEST(MetricsRegistry, InstallPublishesAndUninstallClears) {
+  EXPECT_EQ(MetricsRegistry::Current(), nullptr);
+  MetricsRegistry registry;
+  registry.Install();
+  EXPECT_EQ(MetricsRegistry::Current(), &registry);
+  registry.Uninstall();
+  EXPECT_EQ(MetricsRegistry::Current(), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusRendersAllKindsWithHelpAndType) {
+  MetricsRegistry registry;
+  registry.GetCounter("jobs_total", "Jobs started.")->Increment(3);
+  registry.GetGauge("queue_depth", "Current queue depth.")->Set(1.5);
+  registry.GetHistogram("latency_seconds", "Latency.")->Observe(1.5e-6);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP jobs_total Jobs started.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram\n"),
+            std::string::npos);
+  // 1.5 us falls past the 1 us bound: cumulative counts are 0 then 1, the
+  // +Inf bucket equals _count.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1e-06\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"2e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("tricky_total", "",
+                  {{"path", "a\\b\"c\nd"}})
+      ->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("tricky_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulativeAcrossLabels) {
+  MetricsRegistry registry;
+  Histogram* fast =
+      registry.GetHistogram("serve_seconds", "", {{"metric", "fast"}});
+  Histogram* slow =
+      registry.GetHistogram("serve_seconds", "", {{"metric", "slow"}});
+  for (int i = 0; i < 5; ++i) fast->Observe(0.5e-6);
+  for (int i = 0; i < 2; ++i) slow->Observe(3e-6);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(
+      text.find("serve_seconds_bucket{metric=\"fast\",le=\"+Inf\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("serve_seconds_bucket{metric=\"slow\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("serve_seconds_count{metric=\"fast\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonRendersAsStrictJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("jobs_total", "", {{"kind", "quo\"ted"}})->Increment(2);
+  registry.GetGauge("depth")->Set(0.25);
+  Histogram* h = registry.GetHistogram("lat_seconds");
+  h->Observe(0.5e-6);
+  h->Observe(1e9);  // overflow bucket renders with a null bound
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(registry.RenderJson(), &doc));
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 3u);
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const JsonValue& m : metrics->array) {
+    const std::string& name = m.Find("name")->str;
+    if (name == "jobs_total") {
+      saw_counter = true;
+      EXPECT_EQ(m.Find("type")->str, "counter");
+      EXPECT_EQ(m.Find("value")->number, 2.0);
+      EXPECT_EQ(m.Find("labels")->Find("kind")->str, "quo\"ted");
+    } else if (name == "depth") {
+      saw_gauge = true;
+      EXPECT_EQ(m.Find("value")->number, 0.25);
+    } else if (name == "lat_seconds") {
+      saw_hist = true;
+      EXPECT_EQ(m.Find("count")->number, 2.0);
+      const JsonValue* buckets = m.Find("buckets");
+      ASSERT_NE(buckets, nullptr);
+      ASSERT_EQ(buckets->array.size(), 2u);  // only non-empty buckets
+      EXPECT_EQ(buckets->array[0].array[0].number, 1e-6);
+      EXPECT_EQ(buckets->array[0].array[1].number, 1.0);
+      EXPECT_EQ(buckets->array[1].array[0].type, JsonValue::Type::kNull);
+      EXPECT_EQ(buckets->array[1].array[1].number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(MetricsRegistry, EmptyRegistryRendersEmptyDocuments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(registry.RenderJson(), &doc));
+  EXPECT_TRUE(doc.Find("metrics")->array.empty());
+}
+
+}  // namespace
+}  // namespace hcd

@@ -1,7 +1,9 @@
 #ifndef HCD_TESTS_TEST_UTIL_H_
 #define HCD_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/builder.h"
@@ -9,6 +11,200 @@
 #include "graph/graph.h"
 
 namespace hcd::testing {
+
+/// Minimal strict JSON value + recursive-descent parser, enough to
+/// round-trip the JSON the library emits (telemetry reports, Chrome traces,
+/// metrics dumps) without an external dependency. Numbers are doubles;
+/// objects preserve insertion order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with this key, or null when absent (objects only).
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace internal {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return true;
+      if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control
+      if (ch != '\\') {
+        *out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          // The library only emits \u00xx (control characters); decode the
+          // single-byte range and reject what we never produce.
+          if (code > 0x7f) return false;
+          *out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char ch = text_[pos_];
+    if (ch == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return Literal("null");
+    }
+    if (ch == 't' || ch == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = ch == 't';
+      return Literal(ch == 't' ? "true" : "false");
+    }
+    if (ch == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (ch == '[') {
+      ++pos_;
+      out->type = JsonValue::Type::kArray;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!ParseValue(&item)) return false;
+        out->array.push_back(std::move(item));
+        SkipWs();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (ch == '{') {
+      ++pos_;
+      out->type = JsonValue::Type::kObject;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    // Number: delegate validation of the tail to strtod, but check the
+    // leading character so "inf"/"nan" are rejected.
+    if (ch != '-' && (ch < '0' || ch > '9')) return false;
+    out->type = JsonValue::Type::kNumber;
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+
+/// Parses `text` as one strict JSON document; false on any syntax error or
+/// trailing content.
+inline bool ParseJson(const std::string& text, JsonValue* out) {
+  *out = JsonValue();
+  return internal::JsonParser(text).Parse(out);
+}
 
 /// A named generated graph for parameterized sweeps.
 struct GraphCase {

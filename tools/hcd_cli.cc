@@ -42,10 +42,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "common/status.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -114,7 +116,12 @@ int Usage() {
       "  --io-threads=N           OpenMP threads for graph ingest only\n"
       "                           (default: the --threads setting)\n"
       "  --json                   print a machine-readable per-stage\n"
-      "                           telemetry report instead of prose\n");
+      "                           telemetry report instead of prose\n"
+      "  --trace-out=FILE         write a Chrome trace-event JSON file\n"
+      "                           (open in Perfetto / chrome://tracing)\n"
+      "  --metrics-out=FILE       write the metrics registry; Prometheus\n"
+      "                           text exposition, or JSON when FILE ends\n"
+      "                           in .json\n");
   return 2;
 }
 
@@ -125,6 +132,8 @@ struct CliArgs {
   std::vector<std::string> pos;
   EngineOptions options;
   bool json = false;
+  std::string trace_out;    ///< empty: tracing disabled
+  std::string metrics_out;  ///< empty: metrics disabled
   // Serve-phase flags (query-bench only; rejected by every other command
   // via `serve_flag`, which remembers the first one seen).
   int query_threads = 0;  ///< 0: use the hardware thread count
@@ -152,6 +161,18 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
     }
     if (arg == "--json") {
       out->json = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      out->trace_out = arg.substr(12);
+      if (out->trace_out.empty()) {
+        std::fprintf(stderr, "error: --trace-out needs a file path\n");
+        return false;
+      }
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      out->metrics_out = arg.substr(14);
+      if (out->metrics_out.empty()) {
+        std::fprintf(stderr, "error: --metrics-out needs a file path\n");
+        return false;
+      }
     } else if (arg.rfind("--algo=", 0) == 0) {
       const std::string value = arg.substr(7);
       if (!hcd::ParseEngineAlgo(value, &out->options.algo)) {
@@ -566,13 +587,31 @@ int CmdQueryBench(const CliArgs& args) {
   // Build phase: every expensive stage runs here, once, on this thread.
   const hcd::QuerySnapshot snapshot = engine->Snapshot();
 
+  // When --metrics-out is active, every served query also lands in the
+  // hcd_query_latency_seconds histogram: one unlabeled overall series
+  // (bucket counts sum to --queries) plus one {metric=...} child per
+  // workload metric. The registry lookups happen once, up front; the
+  // per-query path is a pair of lock-free Observe calls.
+  hcd::Histogram* overall_hist = nullptr;
+  std::vector<hcd::Histogram*> metric_hist(workload.size(), nullptr);
+  if (hcd::MetricsRegistry* registry = hcd::MetricsRegistry::Current()) {
+    const std::string name = "hcd_query_latency_seconds";
+    const std::string help = "End-to-end latency of one served query.";
+    overall_hist = registry->GetHistogram(name, help);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      metric_hist[i] = registry->GetHistogram(
+          name, help, {{"metric", hcd::MetricName(workload[i])}});
+    }
+  }
+
   // Serve phase: `workers` threads score the mixed workload concurrently
   // against the shared snapshot. Worker t serves query ids t, t+workers,
   // ... so every worker sees every metric in the mix. Each worker owns a
-  // reusable SearchWorkspace and a private LatencyRecorder (merged after
-  // the join); the engine telemetry gets one aggregate "serve" stage
-  // rather than one record per query.
-  std::vector<hcd::bench::LatencyRecorder> recorders(workers);
+  // reusable SearchWorkspace and private per-metric LatencyRecorders
+  // (merged after the join); the engine telemetry gets one aggregate
+  // "serve" stage rather than one record per query.
+  std::vector<std::vector<hcd::bench::LatencyRecorder>> recorders(
+      workers, std::vector<hcd::bench::LatencyRecorder>(workload.size()));
   double wall = 0.0;
   {
     ScopedStage stage(engine->sink(), "serve");
@@ -583,10 +622,15 @@ int CmdQueryBench(const CliArgs& args) {
       pool.emplace_back([&, t] {
         hcd::SearchWorkspace ws;
         for (int q = t; q < queries; q += workers) {
-          const hcd::Metric metric = workload[q % workload.size()];
+          const size_t mi = static_cast<size_t>(q) % workload.size();
           hcd::Timer query_timer;
-          snapshot.Search(metric, &ws);
-          recorders[t].Record(query_timer.Seconds());
+          snapshot.Search(workload[mi], &ws);
+          const double seconds = query_timer.Seconds();
+          recorders[t][mi].Record(seconds);
+          if (overall_hist != nullptr) {
+            overall_hist->Observe(seconds);
+            metric_hist[mi]->Observe(seconds);
+          }
         }
       });
     }
@@ -596,17 +640,35 @@ int CmdQueryBench(const CliArgs& args) {
     stage.AddCounter("workers", workers);
   }
   hcd::bench::LatencyRecorder latencies;
-  for (const auto& r : recorders) latencies.Merge(r);
+  std::vector<hcd::bench::LatencyRecorder> per_metric(workload.size());
+  for (const auto& worker_recorders : recorders) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      per_metric[i].Merge(worker_recorders[i]);
+      latencies.Merge(worker_recorders[i]);
+    }
+  }
   const double qps = static_cast<double>(queries) / wall;
 
   if (args.json) {
-    char extra[256];
-    std::snprintf(extra, sizeof(extra),
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
                   ",\"result\":{\"queries\":%d,\"query_threads\":%d,"
                   "\"qps\":%.1f,\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,"
-                  "\"p99\":%.1f}}",
+                  "\"p99\":%.1f},\"latency_us_by_metric\":{",
                   queries, workers, qps, latencies.P50() * 1e6,
                   latencies.P95() * 1e6, latencies.P99() * 1e6);
+    std::string extra = buf;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (i > 0) extra += ',';
+      std::snprintf(buf, sizeof(buf),
+                    "\"%s\":{\"count\":%zu,\"p50\":%.1f,\"p95\":%.1f,"
+                    "\"p99\":%.1f}",
+                    hcd::MetricName(workload[i]), per_metric[i].Count(),
+                    per_metric[i].P50() * 1e6, per_metric[i].P95() * 1e6,
+                    per_metric[i].P99() * 1e6);
+      extra += buf;
+    }
+    extra += "}}";
     PrintJsonReport("query-bench", args, *engine, extra);
     return 0;
   }
@@ -617,6 +679,27 @@ int CmdQueryBench(const CliArgs& args) {
   std::printf("p50   %.1f us\n", latencies.P50() * 1e6);
   std::printf("p95   %.1f us\n", latencies.P95() * 1e6);
   std::printf("p99   %.1f us\n", latencies.P99() * 1e6);
+  return 0;
+}
+
+int RunCommand(const std::string& cmd, const CliArgs& args) {
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "convert") return CmdConvert(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "search") return CmdSearch(args);
+  if (cmd == "export") return CmdExport(args);
+  if (cmd == "truss") return CmdTruss(args);
+  if (cmd == "influential") return CmdInfluential(args);
+  if (cmd == "bestk") return CmdBestK(args);
+  if (cmd == "query-bench") return CmdQueryBench(args);
+  return Usage();
+}
+
+int WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) return Fail(Status::IoError("cannot write " + path));
   return 0;
 }
 
@@ -632,15 +715,35 @@ int main(int argc, char** argv) {
                  args.serve_flag.c_str());
     return Usage();
   }
-  if (cmd == "gen") return CmdGen(args);
-  if (cmd == "convert") return CmdConvert(args);
-  if (cmd == "stats") return CmdStats(args);
-  if (cmd == "build") return CmdBuild(args);
-  if (cmd == "search") return CmdSearch(args);
-  if (cmd == "export") return CmdExport(args);
-  if (cmd == "truss") return CmdTruss(args);
-  if (cmd == "influential") return CmdInfluential(args);
-  if (cmd == "bestk") return CmdBestK(args);
-  if (cmd == "query-bench") return CmdQueryBench(args);
-  return Usage();
+
+  // Observability backends live for the whole invocation: every ScopedStage
+  // and ScopedSpan below RunCommand reports into them, and the files are
+  // written after the command (and its root span) finish. With neither flag
+  // the tracer/registry stay uninstalled and the whole layer is a no-op.
+  hcd::Tracer tracer;
+  hcd::MetricsRegistry registry;
+  if (!args.trace_out.empty()) tracer.Install();
+  if (!args.metrics_out.empty()) registry.Install();
+
+  int rc;
+  const std::string root_name = "cli." + cmd;
+  {
+    hcd::ScopedSpan root_span(root_name.c_str());
+    rc = RunCommand(cmd, args);
+  }
+
+  if (!args.trace_out.empty()) {
+    tracer.Uninstall();
+    const Status s = tracer.WriteChromeJson(args.trace_out);
+    if (!s.ok() && rc == 0) rc = Fail(s);
+  }
+  if (!args.metrics_out.empty()) {
+    registry.Uninstall();
+    const std::string text = HasSuffix(args.metrics_out, ".json")
+                                 ? registry.RenderJson()
+                                 : registry.RenderPrometheus();
+    const int write_rc = WriteTextFile(args.metrics_out, text);
+    if (write_rc != 0 && rc == 0) rc = write_rc;
+  }
+  return rc;
 }
