@@ -4,12 +4,16 @@
 For Prometheus text exposition (the default format): checks the HELP/TYPE
 structure, that histogram bucket series are cumulative and end in an +Inf
 bucket equal to the _count series, and optionally that a named histogram's
-total count matches an expected value (e.g. query-bench's --queries).
+total count matches an expected value (e.g. query-bench's --queries) or
+that a named gauge carries an expected value (e.g. live-bench's
+hcd_snapshot_epoch, which must equal --batches since every batch of
+distinct toggles publishes exactly one epoch).
 
 For .json files: checks the document parses and has the metrics envelope.
 
 Usage:
   check_metrics.py METRICS_FILE [--expect-histogram-count=NAME=N ...]
+                                [--expect-gauge=NAME=VALUE ...]
 
 Exits non-zero with a diagnostic on the first violated check.
 """
@@ -41,7 +45,7 @@ SAMPLE_RE = re.compile(
 )
 
 
-def check_prometheus(path: str, expectations: dict) -> int:
+def check_prometheus(path: str, expectations: dict, gauges: dict) -> int:
     with open(path) as f:
         lines = f.read().splitlines()
 
@@ -49,6 +53,7 @@ def check_prometheus(path: str, expectations: dict) -> int:
     # (family, non-le labels) -> list of (le, cumulative count), counts
     buckets: dict = {}
     counts: dict = {}
+    samples: dict = {}  # (name, labels) -> float, for gauge/counter samples
 
     for i, line in enumerate(lines):
         if not line:
@@ -88,7 +93,7 @@ def check_prometheus(path: str, expectations: dict) -> int:
         elif name.endswith("_count"):
             counts[(name[: -len("_count")], labels)] = int(value)
         else:
-            float(value)  # must at least be numeric
+            samples[(name, labels)] = float(value)  # must at least be numeric
 
     for (family, labels), series in buckets.items():
         if types.get(family) != "histogram":
@@ -120,6 +125,18 @@ def check_prometheus(path: str, expectations: dict) -> int:
             print(f"{family}: count {total} != expected {expected}")
             return 1
 
+    for name, expected in gauges.items():
+        if types.get(name) != "gauge":
+            print(f"{name}: expected a gauge, TYPE is {types.get(name)!r}")
+            return 1
+        value = samples.get((name, ""))
+        if value is None:
+            print(f"{name}: expected gauge not found (unlabeled series)")
+            return 1
+        if value != expected:
+            print(f"{name}: gauge value {value} != expected {expected}")
+            return 1
+
     print(f"OK: {len(types)} families, {len(buckets)} histogram series")
     return 0
 
@@ -134,19 +151,30 @@ def main() -> int:
         metavar="NAME=N",
         help="unlabeled histogram NAME must have _count == N (repeatable)",
     )
+    parser.add_argument(
+        "--expect-gauge",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="unlabeled gauge NAME must equal VALUE (repeatable)",
+    )
     args = parser.parse_args()
 
     expectations = {}
     for spec in args.expect_histogram_count:
         name, _, value = spec.partition("=")
         expectations[name] = int(value)
+    gauges = {}
+    for spec in args.expect_gauge:
+        name, _, value = spec.partition("=")
+        gauges[name] = float(value)
 
     if args.metrics.endswith(".json"):
-        if expectations:
-            print("--expect-histogram-count only applies to Prometheus files")
+        if expectations or gauges:
+            print("--expect-* checks only apply to Prometheus files")
             return 2
         return check_json(args.metrics)
-    return check_prometheus(args.metrics, expectations)
+    return check_prometheus(args.metrics, expectations, gauges)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,10 @@
 #ifndef HCD_CORE_DYNAMIC_H_
 #define HCD_CORE_DYNAMIC_H_
 
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -9,8 +13,47 @@
 
 namespace hcd {
 
-/// Incrementally maintained core decomposition under single-edge updates
-/// (the traversal/subcore algorithm of the streaming literature the paper
+/// One edge mutation in a batch: insert or remove the undirected edge
+/// {u, v}. Endpoint order does not matter.
+enum class EdgeOp : uint8_t { kInsert = 0, kRemove = 1 };
+struct EdgeUpdate {
+  VertexId u = 0;
+  VertexId v = 0;
+  EdgeOp op = EdgeOp::kInsert;
+};
+
+/// Per-batch report of ApplyBatch. `subcores_touched` counts the
+/// independent subcore clusters the batch decomposed into (the units the
+/// parallel path runs concurrently); `rounds` counts the coreness strata
+/// the scheduler peeled through.
+struct BatchStats {
+  size_t requested = 0;   ///< updates handed in
+  size_t applied = 0;     ///< net edge mutations actually performed
+  size_t deduped = 0;     ///< dropped because a later op canceled/repeated it
+  size_t redundant = 0;   ///< insert-of-present / remove-of-absent, skipped
+  size_t rounds = 0;
+  size_t subcores_touched = 0;
+  size_t parallel_rounds = 0;  ///< rounds that ran clusters under OpenMP
+  size_t coreness_changed = 0;
+  /// Vertices whose coreness differs from before the batch (ascending).
+  std::vector<VertexId> changed_vertices;
+  /// The net edge set actually mutated, as (min, max) endpoint pairs.
+  std::vector<std::pair<VertexId, VertexId>> applied_edges;
+};
+
+struct ApplyBatchOptions {
+  /// Process independent subcore clusters under OpenMP. The sequential
+  /// fallback (false, or whenever a round has one cluster / one thread)
+  /// applies the same net updates one by one — results are identical.
+  bool parallel = true;
+  /// After applying, recompute coreness from scratch with BZ and return
+  /// Internal if any vertex disagrees. Debug/cross-check only: costs a
+  /// full recomputation per batch.
+  bool verify_with_bz = false;
+};
+
+/// Incrementally maintained core decomposition under edge updates (the
+/// traversal/subcore algorithm of the streaming literature the paper
 /// builds on; the substrate of hierarchical core maintenance [15]).
 ///
 /// Theory used: inserting or deleting one edge changes any coreness by at
@@ -24,17 +67,45 @@ namespace hcd {
 ///     peeled (delete) change coreness by one.
 /// Cost per update: O(size of the touched subcore + its adjacency), far
 /// below recomputation on large graphs.
+///
+/// ApplyBatch extends this to batches (after the parallel batch-dynamic
+/// k-core line of work, arXiv 2106.03824): it validates and dedups the
+/// batch to a net edge set, then repeatedly takes the stratum of pending
+/// updates whose current root coreness K = min(c(u), c(v)) is smallest,
+/// partitions that stratum into clusters by connected component of the
+/// coreness-K subgraph (plus shared endpoints), and applies the clusters
+/// in parallel. Within a round only values K+-1 are written and no vertex
+/// ever *enters* coreness K, so distinct K-components stay disjoint for
+/// the whole round — each cluster touches private state, which is what
+/// makes the parallel schedule exact (equal to some sequential order of
+/// the same single-edge updates, each of which is exact). An update whose
+/// root coreness drifts off K mid-round (an earlier cluster member moved
+/// an endpoint) is deferred to a later round rather than applied.
+///
+/// Adjacency is kept sorted per vertex for binary-search membership until
+/// a vertex's degree crosses `hash_degree_threshold`; beyond that the
+/// vertex flips to a hashed index over an unordered list, making
+/// HasEdge / insert / erase O(1) instead of O(degree) on hubs. ToGraph
+/// re-sorts, so the CSR invariants are unaffected.
 class DynamicCoreIndex {
  public:
+  static constexpr uint32_t kDefaultHashDegreeThreshold = 128;
+
   /// Copies the graph into a mutable adjacency structure and computes the
   /// initial decomposition with BZ.
-  explicit DynamicCoreIndex(const Graph& graph);
+  explicit DynamicCoreIndex(
+      const Graph& graph,
+      uint32_t hash_degree_threshold = kDefaultHashDegreeThreshold);
 
   VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
   EdgeIndex NumEdges() const { return num_edges_; }
 
   /// Current coreness of v.
   uint32_t Coreness(VertexId v) const { return coreness_[v]; }
+
+  /// The whole coreness array (e.g. to stamp a CoreDecomposition for a
+  /// rebuild without touching per-vertex accessors n times).
+  const std::vector<uint32_t>& CorenessValues() const { return coreness_; }
 
   /// Largest current coreness.
   uint32_t KMax() const;
@@ -48,23 +119,69 @@ class DynamicCoreIndex {
   /// Removes edge {u,v} and updates corenesses. NotFound if absent.
   Status RemoveEdge(VertexId u, VertexId v);
 
+  /// Applies a whole batch of updates (see the class comment for the
+  /// schedule). The batch is validated first — InvalidArgument on any
+  /// self-loop or out-of-range id, with nothing applied. Updates that the
+  /// batch itself cancels (insert then remove of the same edge) or that
+  /// are no-ops against the current graph (insert of a present edge,
+  /// remove of an absent one) are skipped and counted in `stats`.
+  /// Afterwards every coreness equals the from-scratch value on the
+  /// updated graph, bit-identically.
+  Status ApplyBatch(std::span<const EdgeUpdate> updates,
+                    BatchStats* stats = nullptr,
+                    const ApplyBatchOptions& options = {});
+
   /// Materializes the current graph as an immutable CSR Graph (e.g. to
-  /// rebuild the HCD with PhcdBuild after a batch of updates).
+  /// rebuild the HCD with PhcdBuild after a batch of updates). Adjacency
+  /// lists are emitted sorted regardless of the hashed representation.
   Graph ToGraph() const;
 
  private:
-  /// BFS over vertices of coreness exactly `k` starting from `roots`;
-  /// returns the subcore (marks members in scratch_in_sub_).
-  std::vector<VertexId> CollectSubcore(const std::vector<VertexId>& roots,
-                                       uint32_t k);
+  /// Per-vertex adjacency: a sorted vector until the degree crosses the
+  /// hash threshold, then an unordered vector plus a position map with
+  /// O(1) membership and swap-with-back erase.
+  class AdjacencyList {
+   public:
+    size_t Size() const { return list_.size(); }
+    /// Neighbors in unspecified order (sorted while un-hashed).
+    std::span<const VertexId> Neighbors() const { return list_; }
+    bool Contains(VertexId v) const;
+    void Insert(VertexId v, uint32_t hash_threshold);  ///< v must be absent
+    void Erase(VertexId v);                            ///< v must be present
+    void AssignSorted(std::span<const VertexId> sorted_neighbors,
+                      uint32_t hash_threshold);
+    std::vector<VertexId> SortedCopy() const;
 
-  std::vector<std::vector<VertexId>> adj_;  // sorted adjacency lists
+   private:
+    std::vector<VertexId> list_;
+    std::unordered_map<VertexId, uint32_t> pos_;  ///< used iff hashed_
+    bool hashed_ = false;
+  };
+
+  /// Reusable per-thread scratch for one single-edge update.
+  struct Scratch {
+    std::vector<uint8_t> in_sub;
+    std::vector<uint32_t> cd;
+    std::vector<VertexId> stack;
+    void EnsureSize(size_t n) {
+      if (in_sub.size() < n) {
+        in_sub.assign(n, 0);
+        cd.assign(n, 0);
+      }
+    }
+  };
+
+  /// The subcore algorithms, post-validation. The edge mutation itself
+  /// happens inside (insert before the BFS, remove before the peel), as
+  /// the single-edge routines require.
+  void InsertEdgeImpl(VertexId u, VertexId v, Scratch& scratch);
+  void RemoveEdgeImpl(VertexId u, VertexId v, Scratch& scratch);
+
+  std::vector<AdjacencyList> adj_;
   std::vector<uint32_t> coreness_;
+  uint32_t hash_degree_threshold_;
   EdgeIndex num_edges_ = 0;
-
-  // Reusable scratch (cleared after every update).
-  std::vector<bool> scratch_in_sub_;
-  std::vector<uint32_t> scratch_cd_;
+  Scratch scratch_;  ///< serial-path scratch (parallel rounds use a pool)
 };
 
 }  // namespace hcd

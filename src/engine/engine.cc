@@ -42,8 +42,8 @@ bool ParseEngineAlgo(std::string_view name, EngineAlgo* algo) {
 }
 
 HcdEngine::HcdEngine(Graph graph, EngineOptions options)
-    : owned_graph_(std::move(graph)),
-      graph_(&owned_graph_),
+    : owned_graph_(std::make_shared<const Graph>(std::move(graph))),
+      graph_(owned_graph_.get()),
       options_(options) {}
 
 HcdEngine::HcdEngine(const Graph* graph, EngineOptions options)
@@ -84,12 +84,13 @@ Status HcdEngine::Load(const std::string& path, const EngineOptions& options,
 }
 
 const CoreDecomposition& HcdEngine::Coreness() {
-  if (!cd_) {
+  if (cd_ == nullptr) {
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
-    cd_ = options_.algo == EngineAlgo::kNaive
-              ? BzCoreDecomposition(*graph_, sink())
-              : PkcCoreDecomposition(*graph_, sink());
+    cd_ = std::make_shared<const CoreDecomposition>(
+        options_.algo == EngineAlgo::kNaive
+            ? BzCoreDecomposition(*graph_, sink())
+            : PkcCoreDecomposition(*graph_, sink()));
   }
   return *cd_;
 }
@@ -130,30 +131,43 @@ const HcdForest& HcdEngine::Forest() {
 }
 
 const FlatHcdIndex& HcdEngine::Flat() {
-  if (!flat_) {
+  if (flat_ == nullptr) {
     const HcdForest& forest = Forest();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
     ScopedStage stage(sink(), "construction.freeze");
-    flat_ = Freeze(forest);
+    flat_ = std::make_shared<const FlatHcdIndex>(Freeze(forest));
     stage.AddCounter("nodes", flat_->NumNodes());
   }
   return *flat_;
 }
 
-const SearchIndex& HcdEngine::Searcher() {
-  if (!search_index_) {
-    const CoreDecomposition& cd = Coreness();
-    const FlatHcdIndex& flat = Flat();
+const SnapshotState& HcdEngine::SealedState() {
+  if (state_ == nullptr) {
+    Coreness();
+    Flat();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
-    search_index_.emplace(*graph_, cd, flat, sink());
+    // The state shares the engine's refcounted caches — sealing costs no
+    // recomputation, no copy, and invalidates no outstanding references.
+    // Only a borrowed graph is copied, because the state must own
+    // everything it serves (the caller's graph may die first).
+    std::shared_ptr<const Graph> graph =
+        owned_graph_ != nullptr ? owned_graph_
+                                : std::make_shared<const Graph>(*graph_);
+    state_ = SnapshotState::Create(std::move(graph), cd_, flat_,
+                                   /*epoch=*/0, sink());
   }
-  return *search_index_;
+  return *state_;
+}
+
+const SearchIndex& HcdEngine::Searcher() {
+  return SealedState().search_index();
 }
 
 QuerySnapshot HcdEngine::Snapshot() {
-  return QuerySnapshot(*graph_, Coreness(), Flat(), Searcher());
+  SealedState();
+  return QuerySnapshot(state_);
 }
 
 SearchResult HcdEngine::Search(Metric metric) {

@@ -121,13 +121,21 @@ class HcdEngine {
 
   /// Memoized eager search index over Coreness() and Flat(); constructing
   /// it runs the PBKS preprocessing and both primary-value passes (stages
-  /// "search.preprocess", "search.primary_a", "search.primary_b").
+  /// "search.preprocess", "search.primary_a", "search.primary_b"). The
+  /// index lives inside the engine's SnapshotState, so requesting it seals
+  /// the serve-phase state (see Snapshot()).
   const SearchIndex& Searcher();
 
-  /// Finishes every query-side stage (Coreness, Forest, Flat, Searcher) and
-  /// returns the immutable serve-phase view over them. Cheap once built;
-  /// repeated calls return snapshots over the same cached stages. The
-  /// engine must outlive every snapshot (and its copies).
+  /// Finishes every query-side stage (Coreness, Forest, Flat, Searcher),
+  /// seals them into one refcounted immutable SnapshotState (epoch 0) and
+  /// returns a shared-ownership view over it. Cheap once built; repeated
+  /// calls return snapshots over the same state. Snapshots own the state:
+  /// they stay valid after the engine is destroyed, so worker threads can
+  /// keep serving while the builder goes away. The state shares the
+  /// engine's cached graph, coreness and flat index (they are refcounted
+  /// internally), so sealing neither copies nor invalidates references
+  /// handed out by the accessors above; only a borrowed graph is copied,
+  /// because the state must own everything it serves.
   QuerySnapshot Snapshot();
 
   /// Search via the cached search index (one "search.score" stage per
@@ -136,15 +144,22 @@ class HcdEngine {
   SearchResult Search(Metric metric);
 
  private:
-  Graph owned_graph_;
+  /// Builds state_ from the cached stages (first call only).
+  const SnapshotState& SealedState();
+
+  std::shared_ptr<const Graph> owned_graph_;  ///< null when borrowing
   const Graph* graph_;
   EngineOptions options_;
   StageTelemetry telemetry_;
-  std::optional<CoreDecomposition> cd_;
+  // Stage caches. Coreness and the flat index are refcounted so sealing
+  // shares them with the SnapshotState without a move or copy — references
+  // handed out before Snapshot() stay valid after it. Rank and the builder
+  // forest are build-side only and never sealed.
+  std::shared_ptr<const CoreDecomposition> cd_;
   std::optional<VertexRank> rank_;
   std::optional<HcdForest> forest_;
-  std::optional<FlatHcdIndex> flat_;
-  std::optional<SearchIndex> search_index_;
+  std::shared_ptr<const FlatHcdIndex> flat_;
+  std::shared_ptr<const SnapshotState> state_;
   SearchWorkspace workspace_;
 };
 

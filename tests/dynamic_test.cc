@@ -131,6 +131,177 @@ TEST(DynamicCore, SingleUpdateChangesCorenessByAtMostOne) {
   }
 }
 
+std::vector<EdgeUpdate> RandomBatch(const DynamicCoreIndex& index, Rng& rng,
+                                    size_t size, bool adversarial_mix) {
+  const VertexId n = index.NumVertices();
+  std::vector<EdgeUpdate> batch;
+  while (batch.size() < size) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    const VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    const bool present = index.HasEdge(u, v);
+    batch.push_back({u, v, present ? EdgeOp::kRemove : EdgeOp::kInsert});
+    if (adversarial_mix && rng.Uniform(4) == 0) {
+      // Stress the dedup: follow with the opposite op on the same edge
+      // (cancels) or a repeat (redundant), sometimes both.
+      const EdgeOp last = batch.back().op;
+      const EdgeOp flip =
+          last == EdgeOp::kInsert ? EdgeOp::kRemove : EdgeOp::kInsert;
+      batch.push_back({v, u, rng.Uniform(2) == 0 ? flip : last});
+    }
+  }
+  return batch;
+}
+
+/// Applies `batch` three ways — parallel schedule, sequential fallback,
+/// and edge-by-edge net replay — and checks all three against BZ from
+/// scratch, bit for bit.
+void ExpectBatchEquivalence(const Graph& start,
+                            const std::vector<EdgeUpdate>& batch,
+                            uint32_t hash_threshold) {
+  DynamicCoreIndex par(start, hash_threshold);
+  DynamicCoreIndex seq(start, hash_threshold);
+  BatchStats par_stats, seq_stats;
+  ApplyBatchOptions par_options;
+  par_options.parallel = true;
+  ApplyBatchOptions seq_options;
+  seq_options.parallel = false;
+  ASSERT_TRUE(par.ApplyBatch(batch, &par_stats, par_options).ok());
+  ASSERT_TRUE(seq.ApplyBatch(batch, &seq_stats, seq_options).ok());
+
+  // Edge-by-edge replay of the net effect the batch reported.
+  DynamicCoreIndex one(start, hash_threshold);
+  for (const auto& [u, v] : par_stats.applied_edges) {
+    if (one.HasEdge(u, v)) {
+      ASSERT_TRUE(one.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(one.InsertEdge(u, v).ok());
+    }
+  }
+
+  const CoreDecomposition fresh = BzCoreDecomposition(par.ToGraph());
+  ASSERT_EQ(par.CorenessValues(), fresh.coreness);
+  ASSERT_EQ(seq.CorenessValues(), fresh.coreness);
+  ASSERT_EQ(one.CorenessValues(), fresh.coreness);
+  ASSERT_EQ(par.NumEdges(), one.NumEdges());
+  ASSERT_EQ(seq.NumEdges(), one.NumEdges());
+  // The two schedules agree on what the batch did, not just the outcome.
+  ASSERT_EQ(par_stats.applied, seq_stats.applied);
+  ASSERT_EQ(par_stats.changed_vertices, seq_stats.changed_vertices);
+}
+
+TEST(DynamicBatch, MatchesBzOnRandomGraphs) {
+  for (uint64_t seed : testing::SweepSeeds()) {
+    Graph g = ErdosRenyiGnm(150, 450, seed);
+    Rng rng(seed * 101 + 7);
+    DynamicCoreIndex probe(g);  // only to sample present/absent edges
+    for (size_t batch_size : {1u, 8u, 64u, 200u}) {
+      ExpectBatchEquivalence(
+          g, RandomBatch(probe, rng, batch_size, /*adversarial_mix=*/true),
+          DynamicCoreIndex::kDefaultHashDegreeThreshold);
+    }
+  }
+}
+
+TEST(DynamicBatch, SequentialBatchesKeepMatchingBz) {
+  // Batches applied back to back on one index, verified via the built-in
+  // BZ cross-check every time.
+  Graph g = ErdosRenyiGnp(120, 0.05, 11);
+  DynamicCoreIndex index(g);
+  Rng rng(12);
+  ApplyBatchOptions options;
+  options.verify_with_bz = true;
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<EdgeUpdate> batch = RandomBatch(index, rng, 40, true);
+    ASSERT_TRUE(index.ApplyBatch(batch, nullptr, options).ok());
+  }
+}
+
+TEST(DynamicBatch, DedupAndStats) {
+  // Path 0-1-2-3. Batch: close the triangle (applies), insert 0-1 again
+  // (redundant), add then drop 1-3 (cancels), drop 2-3 (applies).
+  DynamicCoreIndex index(PathGraph(4));
+  const std::vector<EdgeUpdate> batch = {
+      {0, 2, EdgeOp::kInsert}, {1, 0, EdgeOp::kInsert},
+      {1, 3, EdgeOp::kInsert}, {3, 1, EdgeOp::kRemove},
+      {2, 3, EdgeOp::kRemove},
+  };
+  BatchStats stats;
+  ASSERT_TRUE(index.ApplyBatch(batch, &stats).ok());
+  EXPECT_EQ(stats.requested, 5u);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.redundant, 1u);  // the repeated 0-1 insert
+  EXPECT_EQ(stats.deduped, 2u);    // the 1-3 insert+remove pair
+  EXPECT_TRUE(index.HasEdge(0, 2));
+  EXPECT_FALSE(index.HasEdge(1, 3));
+  EXPECT_FALSE(index.HasEdge(2, 3));
+  EXPECT_EQ(index.NumEdges(), 3u);  // 0-1, 1-2, 0-2
+  EXPECT_EQ(index.Coreness(0), 2u);
+  EXPECT_EQ(index.Coreness(3), 0u);
+  EXPECT_EQ(stats.coreness_changed, stats.changed_vertices.size());
+  ExpectMatchesRecompute(index);
+}
+
+TEST(DynamicBatch, RejectsBadBatchesWhole) {
+  DynamicCoreIndex index(PathGraph(4));
+  const std::vector<uint32_t> before = index.CorenessValues();
+  const std::vector<EdgeUpdate> self_loop = {{0, 2, EdgeOp::kInsert},
+                                             {1, 1, EdgeOp::kInsert}};
+  const std::vector<EdgeUpdate> out_of_range = {{0, 2, EdgeOp::kInsert},
+                                                {0, 99, EdgeOp::kRemove}};
+  EXPECT_FALSE(index.ApplyBatch(self_loop).ok());
+  EXPECT_FALSE(index.ApplyBatch(out_of_range).ok());
+  // Nothing from the valid prefix was applied.
+  EXPECT_FALSE(index.HasEdge(0, 2));
+  EXPECT_EQ(index.CorenessValues(), before);
+  EXPECT_EQ(index.NumEdges(), 3u);
+}
+
+TEST(DynamicBatch, EmptyAndNoOpBatches) {
+  DynamicCoreIndex index(PathGraph(4));
+  BatchStats stats;
+  ASSERT_TRUE(index.ApplyBatch({}, &stats).ok());
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(stats.rounds, 0u);
+  const std::vector<EdgeUpdate> noop = {{0, 1, EdgeOp::kInsert},
+                                        {0, 3, EdgeOp::kRemove}};
+  ASSERT_TRUE(index.ApplyBatch(noop, &stats).ok());
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(stats.redundant, 2u);
+  EXPECT_EQ(index.NumEdges(), 3u);
+}
+
+TEST(DynamicBatch, HashedAdjacencyThresholdsAgree) {
+  // Threshold 0 hashes every vertex, a huge threshold hashes none; both
+  // must walk through the same states as the default.
+  Graph g = BarabasiAlbertVarying(150, 2, 8, 21);
+  Rng rng(22);
+  DynamicCoreIndex probe(g);
+  const std::vector<EdgeUpdate> batch = RandomBatch(probe, rng, 120, true);
+  for (uint32_t threshold : {0u, 4u, 1u << 30}) {
+    SCOPED_TRACE(threshold);
+    ExpectBatchEquivalence(g, batch, threshold);
+  }
+}
+
+TEST(DynamicCore, HashedAdjacencySingleUpdates) {
+  // Hub promotion: a star center crosses the hash threshold mid-churn.
+  GraphBuilder b;
+  Graph empty = std::move(b).Build(40);
+  DynamicCoreIndex index(empty, /*hash_degree_threshold=*/8);
+  for (VertexId v = 1; v < 40; ++v) {
+    ASSERT_TRUE(index.InsertEdge(0, v).ok());
+  }
+  EXPECT_EQ(index.KMax(), 1u);
+  for (VertexId v = 1; v < 40; ++v) {
+    ASSERT_TRUE(index.HasEdge(v, 0));
+    ASSERT_TRUE(index.RemoveEdge(0, v).ok());
+  }
+  EXPECT_EQ(index.NumEdges(), 0u);
+  EXPECT_EQ(index.KMax(), 0u);
+  ExpectMatchesRecompute(index);
+}
+
 TEST(DynamicCore, RebuildHcdAfterBatch) {
   Graph g = ErdosRenyiGnm(300, 900, 17);
   DynamicCoreIndex index(g);

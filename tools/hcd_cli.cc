@@ -30,15 +30,20 @@
 // <graph> is loaded as binary when the path ends in ".bin", else as an
 // edge-list text file.
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -49,6 +54,7 @@
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "engine/engine.h"
+#include "engine/live.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/ingest.h"
@@ -103,12 +109,20 @@ int Usage() {
       "  hcd_cli influential <graph> <k> <r> [seed] [flags]\n"
       "  hcd_cli bestk <graph> <metric> [flags]\n"
       "  hcd_cli query-bench <graph> [flags]\n"
-      "flags (query-bench):\n"
+      "  hcd_cli live-bench <graph> [flags]\n"
+      "flags (query-bench, live-bench):\n"
       "  --query-threads=N        concurrent query workers (default:\n"
       "                           hardware threads)\n"
-      "  --queries=N              total queries to serve (default 1000)\n"
+      "  --queries=N              total queries to serve (default 1000;\n"
+      "                           query-bench only)\n"
       "  --metrics=a,b,...        workload metric mix (default: all\n"
       "                           metrics, round-robin)\n"
+      "flags (live-bench):\n"
+      "  --batch-size=N           edge updates per batch (default 100)\n"
+      "  --batches=N              batches the writer applies (default 20)\n"
+      "  --update-rate=R          batches per second; 0 = apply\n"
+      "                           back-to-back (default 0)\n"
+      "  --seed=N                 update-stream RNG seed (default 1)\n"
       "flags (any command):\n"
       "  --algo=phcd|lcps|naive   HCD construction algorithm (default phcd)\n"
       "  --threads=N              OpenMP threads for every stage (default:\n"
@@ -140,6 +154,12 @@ struct CliArgs {
   int queries = 1000;
   std::vector<hcd::Metric> workload;  ///< empty: all metrics, round-robin
   std::string serve_flag;
+  // Live-bench flags (rejected elsewhere via `live_flag`).
+  int batch_size = 100;
+  int batches = 20;
+  double update_rate = 0.0;  ///< batches per second; 0 = unpaced
+  uint64_t seed = 1;
+  std::string live_flag;
 };
 
 bool MetricByName(const std::string& name, hcd::Metric* metric) {
@@ -252,6 +272,58 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
         start = comma + 1;
       }
       if (out->serve_flag.empty()) out->serve_flag = arg;
+    } else if (arg.rfind("--batch-size=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      char* end = nullptr;
+      const long size = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || size <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --batch-size value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->batch_size = static_cast<int>(size);
+      if (out->live_flag.empty()) out->live_flag = arg;
+    } else if (arg.rfind("--batches=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long batches = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || batches <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --batches value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->batches = static_cast<int>(batches);
+      if (out->live_flag.empty()) out->live_flag = arg;
+    } else if (arg.rfind("--update-rate=", 0) == 0) {
+      const std::string value = arg.substr(14);
+      char* end = nullptr;
+      const double rate = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || rate < 0.0) {
+        std::fprintf(stderr,
+                     "error: bad --update-rate value '%s' (want a "
+                     "non-negative number)\n",
+                     value.c_str());
+        return false;
+      }
+      out->update_rate = rate;
+      if (out->live_flag.empty()) out->live_flag = arg;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const std::string value = arg.substr(7);
+      char* end = nullptr;
+      const long long seed = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || seed < 0) {
+        std::fprintf(stderr,
+                     "error: bad --seed value '%s' (want a non-negative "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->seed = static_cast<uint64_t>(seed);
+      if (out->live_flag.empty()) out->live_flag = arg;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -682,6 +754,190 @@ int CmdQueryBench(const CliArgs& args) {
   return 0;
 }
 
+/// Serves a mixed-metric read workload from --query-threads workers while a
+/// writer thread applies --batches random edge batches of --batch-size
+/// updates each (paced by --update-rate), measuring read throughput and
+/// tail latency under live hot-swaps. A second, read-only phase of the same
+/// wall duration then gives the interference-free baseline, so the report
+/// can state what fraction of read throughput survives the update stream.
+int CmdLiveBench(const CliArgs& args) {
+  if (args.pos.size() != 1) return Usage();
+  Graph graph;
+  Status s = HasSuffix(args.pos[0], ".bin")
+                 ? hcd::LoadBinary(args.pos[0], &graph)
+                 : hcd::LoadEdgeListText(args.pos[0], &graph);
+  if (!s.ok()) return Fail(s);
+  const hcd::VertexId n = graph.NumVertices();
+  if (n < 2) return Fail(Status::InvalidArgument("graph too small"));
+  const hcd::EdgeIndex m = graph.NumEdges();
+
+  std::vector<hcd::Metric> workload = args.workload;
+  if (workload.empty()) {
+    workload.assign(std::begin(hcd::kAllMetrics), std::end(hcd::kAllMetrics));
+  }
+  const int workers = args.query_threads > 0 ? args.query_threads
+                                             : hcd::HardwareThreads();
+
+  hcd::LiveEngineOptions live_options;
+  live_options.engine = args.options;
+  hcd::LiveEngine live(std::move(graph), live_options);
+
+  // One phase of concurrent reading: `workers` threads acquire + search in
+  // a loop until told to stop; returns {reads, wall, latencies}.
+  struct PhaseResult {
+    uint64_t reads = 0;
+    double wall = 0.0;
+    hcd::bench::LatencyRecorder latencies;
+  };
+  auto run_readers = [&](const std::function<void()>& writer_body) {
+    PhaseResult result;
+    std::atomic<bool> stop{false};
+    std::vector<hcd::bench::LatencyRecorder> recorders(workers);
+    std::vector<uint64_t> counts(workers, 0);
+    hcd::Timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        hcd::SearchWorkspace ws;
+        // Cached per-reader handle: lock-free while the epoch is stable,
+        // refreshed from the manager when a new generation lands.
+        hcd::SnapshotReader reader(live.manager());
+        size_t mi = static_cast<size_t>(t) % workload.size();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const hcd::QuerySnapshot snap = reader.Snapshot();
+          hcd::Timer query_timer;
+          snap.Search(workload[mi], &ws);
+          recorders[t].Record(query_timer.Seconds());
+          ++counts[t];
+          mi = (mi + 1) % workload.size();
+        }
+      });
+    }
+    writer_body();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& worker : pool) worker.join();
+    result.wall = timer.Seconds();
+    for (int t = 0; t < workers; ++t) {
+      result.reads += counts[t];
+      result.latencies.Merge(recorders[t]);
+    }
+    return result;
+  };
+
+  // Live phase: the writer toggles `batch_size` distinct random edges per
+  // batch against its own view of the graph, so every batch has full net
+  // effect and publishes exactly one epoch.
+  hcd::Rng rng(args.seed);
+  std::vector<hcd::BatchApplyReport> reports;
+  reports.reserve(args.batches);
+  Status writer_status = Status::Ok();
+  const auto writer = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (int b = 0; b < args.batches; ++b) {
+      if (args.update_rate > 0.0) {
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(b / args.update_rate));
+        std::this_thread::sleep_until(due);
+      }
+      std::vector<hcd::EdgeUpdate> batch;
+      std::unordered_set<uint64_t> used;
+      uint64_t attempts = 0;
+      while (batch.size() < static_cast<size_t>(args.batch_size) &&
+             ++attempts < 100 * static_cast<uint64_t>(args.batch_size)) {
+        const auto u = static_cast<hcd::VertexId>(rng.Uniform(n));
+        const auto v = static_cast<hcd::VertexId>(rng.Uniform(n));
+        if (u == v) continue;
+        const uint64_t key =
+            (uint64_t{std::min(u, v)} << 32) | std::max(u, v);
+        if (!used.insert(key).second) continue;
+        batch.push_back({u, v,
+                         live.dynamic().HasEdge(u, v) ? hcd::EdgeOp::kRemove
+                                                      : hcd::EdgeOp::kInsert});
+      }
+      hcd::BatchApplyReport report;
+      writer_status = live.ApplyBatch(batch, &report);
+      if (!writer_status.ok()) return;
+      reports.push_back(report);
+    }
+  };
+  const PhaseResult live_phase = run_readers(writer);
+  if (!writer_status.ok()) return Fail(writer_status);
+
+  // Read-only phase over the final generation, same wall duration.
+  const double live_wall = live_phase.wall;
+  const PhaseResult readonly_phase = run_readers([&] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(live_wall));
+  });
+
+  const double live_qps = static_cast<double>(live_phase.reads) /
+                          std::max(live_phase.wall, 1e-9);
+  const double readonly_qps = static_cast<double>(readonly_phase.reads) /
+                              std::max(readonly_phase.wall, 1e-9);
+  const double retained =
+      readonly_qps > 0.0 ? live_qps / readonly_qps : 0.0;
+  double apply_sum = 0.0, apply_max = 0.0, refreeze_sum = 0.0;
+  uint64_t subcores = 0, full_rebuilds = 0;
+  for (const hcd::BatchApplyReport& r : reports) {
+    apply_sum += r.total_seconds;
+    apply_max = std::max(apply_max, r.total_seconds);
+    refreeze_sum += r.refreeze_seconds;
+    subcores += r.stats.subcores_touched;
+    full_rebuilds += r.full_rebuild ? 1 : 0;
+  }
+  const double apply_mean =
+      reports.empty() ? 0.0 : apply_sum / static_cast<double>(reports.size());
+
+  if (args.json) {
+    std::printf(
+        "{\"command\":\"live-bench\",\"graph\":{\"n\":%u,\"m\":%llu},"
+        "\"result\":{\"query_threads\":%d,\"batches\":%zu,"
+        "\"batch_size\":%d,\"update_rate\":%.3f,\"epochs\":%llu,"
+        "\"live\":{\"reads\":%llu,\"qps\":%.1f,\"latency_us\":{"
+        "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}},"
+        "\"read_only\":{\"reads\":%llu,\"qps\":%.1f,\"latency_us\":{"
+        "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}},"
+        "\"qps_retained\":%.3f,"
+        "\"batch_apply_ms\":{\"mean\":%.3f,\"max\":%.3f},"
+        "\"refreeze_ms_total\":%.3f,\"subcores_touched\":%llu,"
+        "\"full_rebuilds\":%llu}}\n",
+        n, static_cast<unsigned long long>(m), workers, reports.size(),
+        args.batch_size, args.update_rate,
+        static_cast<unsigned long long>(live.Epoch()),
+        static_cast<unsigned long long>(live_phase.reads), live_qps,
+        live_phase.latencies.P50() * 1e6, live_phase.latencies.P95() * 1e6,
+        live_phase.latencies.P99() * 1e6,
+        static_cast<unsigned long long>(readonly_phase.reads), readonly_qps,
+        readonly_phase.latencies.P50() * 1e6,
+        readonly_phase.latencies.P95() * 1e6,
+        readonly_phase.latencies.P99() * 1e6, retained, apply_mean * 1e3,
+        apply_max * 1e3, refreeze_sum * 1e3,
+        static_cast<unsigned long long>(subcores),
+        static_cast<unsigned long long>(full_rebuilds));
+    return 0;
+  }
+  std::printf("live phase: %d readers over %zu batches x %d updates "
+              "(%llu epochs published)\n",
+              workers, reports.size(), args.batch_size,
+              static_cast<unsigned long long>(live.Epoch()));
+  std::printf("  read QPS  %.0f   p50 %.1f us   p99 %.1f us\n", live_qps,
+              live_phase.latencies.P50() * 1e6,
+              live_phase.latencies.P99() * 1e6);
+  std::printf("read-only phase (same duration):\n");
+  std::printf("  read QPS  %.0f   p50 %.1f us   p99 %.1f us\n", readonly_qps,
+              readonly_phase.latencies.P50() * 1e6,
+              readonly_phase.latencies.P99() * 1e6);
+  std::printf("throughput retained under writes: %.1f%%\n", retained * 100.0);
+  std::printf("batch apply: mean %.2f ms, max %.2f ms (%llu subcores, "
+              "%llu full rebuilds)\n",
+              apply_mean * 1e3, apply_max * 1e3,
+              static_cast<unsigned long long>(subcores),
+              static_cast<unsigned long long>(full_rebuilds));
+  return 0;
+}
+
 int RunCommand(const std::string& cmd, const CliArgs& args) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "convert") return CmdConvert(args);
@@ -693,6 +949,7 @@ int RunCommand(const std::string& cmd, const CliArgs& args) {
   if (cmd == "influential") return CmdInfluential(args);
   if (cmd == "bestk") return CmdBestK(args);
   if (cmd == "query-bench") return CmdQueryBench(args);
+  if (cmd == "live-bench") return CmdLiveBench(args);
   return Usage();
 }
 
@@ -710,9 +967,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   CliArgs args;
   if (!ParseCliArgs(argc, argv, 2, &args)) return Usage();
-  if (cmd != "query-bench" && !args.serve_flag.empty()) {
-    std::fprintf(stderr, "error: flag '%s' is only valid for query-bench\n",
+  if (cmd != "query-bench" && cmd != "live-bench" &&
+      !args.serve_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: flag '%s' is only valid for query-bench or "
+                 "live-bench\n",
                  args.serve_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "live-bench" && !args.live_flag.empty()) {
+    std::fprintf(stderr, "error: flag '%s' is only valid for live-bench\n",
+                 args.live_flag.c_str());
     return Usage();
   }
 
