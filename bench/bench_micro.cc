@@ -4,9 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "core/core_decomposition.h"
 #include "core/julienne.h"
+#include "engine/live.h"
 #include "graph/generators.h"
 #include "hcd/flat_index.h"
 #include "hcd/lcps.h"
@@ -17,6 +19,8 @@
 #include "search/bks.h"
 #include "search/pbks.h"
 #include "search/preprocess.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace {
 
@@ -196,6 +200,58 @@ void BM_TypeBPrimary(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TypeBPrimary);
+
+// One served query over the loopback socket protocol, instruments live.
+// The server resolves every counter/histogram once at Start, so the
+// per-request path must perform ZERO registry lookups — each lookup takes
+// the registry mutex and two map walks, which would serialize the worker
+// pool. The reported `registry_lookups_per_request` counter is asserted
+// to be exactly 0 (the row errors otherwise, so a regression fails the
+// smoke run, not just shifts a number).
+void BM_ServedQuery(benchmark::State& state) {
+  hcd::Graph graph = hcd::BarabasiAlbert(5000, 8, 78);
+  hcd::LiveEngine live(std::move(graph));
+  hcd::MetricsRegistry registry;
+  registry.Install();
+  {
+    hcd::server::ServerOptions options;
+    options.workers = 1;
+    hcd::server::QueryServer server(&live.manager(), options);
+    hcd::server::QueryClient client;
+    if (!server.Start().ok() ||
+        !client.Connect("127.0.0.1", server.port()).ok()) {
+      registry.Uninstall();
+      state.SkipWithError("could not start the loopback server");
+      return;
+    }
+    const uint64_t lookups_before = registry.lookup_count();
+    hcd::server::QueryRequest request;
+    hcd::server::QueryResponse response;
+    uint64_t requests = 0;
+    for (auto _ : state) {
+      request.metric = hcd::kAllMetrics[requests % std::size(hcd::kAllMetrics)];
+      request.k = static_cast<uint32_t>(requests % 4);
+      ++requests;
+      if (!client.Query(request, &response).ok()) {
+        state.SkipWithError("query failed");
+        break;
+      }
+      benchmark::DoNotOptimize(response.score);
+    }
+    const uint64_t lookups = registry.lookup_count() - lookups_before;
+    state.counters["registry_lookups_per_request"] = benchmark::Counter(
+        requests == 0 ? 0.0
+                      : static_cast<double>(lookups) /
+                            static_cast<double>(requests));
+    if (lookups != 0) {
+      state.SkipWithError("the per-request serve path hit the registry");
+    }
+    server.Stop();
+  }
+  registry.Uninstall();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServedQuery);
 
 }  // namespace
 

@@ -50,7 +50,9 @@ ThroughputPoint RunWorkload(const hcd::QuerySnapshot& snapshot, int workers,
   }
   for (std::thread& worker : pool) worker.join();
   ThroughputPoint point;
-  point.qps = static_cast<double>(queries) / wall.Seconds();
+  // Clock granularity on a tiny run can hand back zero wall seconds; a
+  // guarded 0 keeps the table and the baseline rows strictly finite.
+  point.qps = hcd::FiniteOrZero(static_cast<double>(queries) / wall.Seconds());
   for (const auto& r : recorders) point.latencies.Merge(r);
   return point;
 }
@@ -77,11 +79,13 @@ int main() {
       if (workers == 1) base_qps = point.qps;
       // Baseline row carries the wall seconds of the whole workload (QPS is
       // recoverable as queries/seconds).
-      hcd::bench::ReportBaseline("query_throughput", ds.name, workers,
-                                 static_cast<double>(queries) / point.qps);
+      hcd::bench::ReportBaseline(
+          "query_throughput", ds.name, workers,
+          hcd::FiniteOrZero(static_cast<double>(queries) / point.qps),
+          {{"qps", point.qps}});
       std::printf("%-4s %8u | %8d %10.0f %7.2fx | %10.1f %10.1f %10.1f\n",
                   ds.name.c_str(), snapshot.flat().NumNodes(), workers,
-                  point.qps, point.qps / base_qps,
+                  point.qps, hcd::FiniteOrZero(point.qps / base_qps),
                   point.latencies.P50() * 1e6, point.latencies.P95() * 1e6,
                   point.latencies.P99() * 1e6);
     }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/telemetry.h"
@@ -20,28 +21,47 @@ namespace hcd::bench {
 /// (p50/p95/p99), the shared report shape of `hcd_cli query-bench` and
 /// bench_query_throughput. Not thread-safe: give each worker thread its own
 /// recorder and Merge them afterwards.
+///
+/// The sample vector is sorted at most once per batch of insertions: the
+/// first Quantile call after a Record/Merge sorts in place and memoizes,
+/// so a P50/P95/P99 report costs one O(N log N) sort instead of three
+/// (each with its own full copy). Record and Merge stay valid after a
+/// report — they just mark the order dirty again.
 class LatencyRecorder {
  public:
-  void Record(double seconds) { samples_.push_back(seconds); }
+  void Record(double seconds) {
+    samples_.push_back(seconds);
+    sorted_ = false;
+  }
 
   void Merge(const LatencyRecorder& other) {
+    if (other.samples_.empty()) return;
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
+    sorted_ = false;
   }
 
   size_t Count() const { return samples_.size(); }
+
+  /// Sorts the samples now (idempotent). Quantile calls this lazily, so
+  /// finalizing explicitly is only useful to move the sort off a measured
+  /// region.
+  void Finalize() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
 
   /// Nearest-rank quantile: the ceil(q*N)-th smallest sample (so P50 of
   /// two samples is the lower one, and one sample answers every q). 0.0
   /// with no samples. `q` in [0, 1]; q=0 is the minimum, q=1 the maximum.
   double Quantile(double q) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    Finalize();
+    const double rank = std::ceil(q * static_cast<double>(samples_.size()));
     const size_t index =
         rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
-    return sorted[std::min(index, sorted.size() - 1)];
+    return samples_[std::min(index, samples_.size() - 1)];
   }
 
   double P50() const { return Quantile(0.50); }
@@ -49,7 +69,9 @@ class LatencyRecorder {
   double P99() const { return Quantile(0.99); }
 
  private:
-  std::vector<double> samples_;
+  /// Sorted in place by Finalize; recorder order is not observable.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 /// Wall-clock seconds of `fn` (best of `reps` runs; best-of suppresses
@@ -80,23 +102,42 @@ inline std::vector<int> ThreadSweep() { return {1, 2, 4, 8}; }
 
 /// Appends one machine-readable measurement row to the file named by the
 /// HCD_BENCH_BASELINE environment variable (JSON Lines: one object per
-/// row with bench / dataset / threads / seconds). A no-op when the
-/// variable is unset, so interactive runs stay table-only;
+/// row with bench / dataset / threads / seconds, plus any extra
+/// measurement-specific fields passed as (key, value) pairs). A no-op when
+/// the variable is unset, so interactive runs stay table-only;
 /// scripts/run_benchmarks.sh sets it and folds the rows into
-/// BENCH_baseline.json for regression tracking across commits.
-inline void ReportBaseline(const std::string& bench,
-                           const std::string& dataset, int threads,
-                           double seconds) {
+/// BENCH_baseline.json for regression tracking across commits. Values are
+/// sanitized through FiniteOrZero so a degenerate run (zero duration, zero
+/// reads) can never write `inf`/`nan` into the baseline.
+inline void ReportBaseline(
+    const std::string& bench, const std::string& dataset, int threads,
+    double seconds,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
   const char* path = std::getenv("HCD_BENCH_BASELINE");
   if (path == nullptr || path[0] == '\0') return;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) return;
-  std::fprintf(f,
-               "{\"bench\":\"%s\",\"dataset\":\"%s\",\"threads\":%d,"
-               "\"seconds\":%.9g}\n",
+  std::fprintf(f, "{\"bench\":\"%s\",\"dataset\":\"%s\",\"threads\":%d,"
+               "\"seconds\":%.9g",
                JsonEscape(bench).c_str(), JsonEscape(dataset).c_str(),
-               threads, seconds);
+               threads, FiniteOrZero(seconds));
+  for (const auto& [key, value] : extra) {
+    std::fprintf(f, ",\"%s\":%.9g", JsonEscape(key).c_str(),
+                 FiniteOrZero(value));
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
+}
+
+/// Dataset label of a graph path for baseline rows: the basename with its
+/// extension dropped ("data/web-Google.bin" -> "web-Google").
+inline std::string DatasetNameFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name.empty() ? "unnamed" : name;
 }
 
 inline void PrintHardwareBanner(const char* title) {

@@ -4,16 +4,19 @@
 For Prometheus text exposition (the default format): checks the HELP/TYPE
 structure, that histogram bucket series are cumulative and end in an +Inf
 bucket equal to the _count series, and optionally that a named histogram's
-total count matches an expected value (e.g. query-bench's --queries) or
-that a named gauge carries an expected value (e.g. live-bench's
+total count matches an expected value (e.g. query-bench's --queries), that
+a named gauge carries an expected value (e.g. live-bench's
 hcd_snapshot_epoch, which must equal --batches since every batch of
-distinct toggles publishes exactly one epoch).
+distinct toggles publishes exactly one epoch), or that a named counter
+carries an expected value (e.g. the serve smoke's
+hcd_server_requests_total, which must equal serve-bench's --queries).
 
 For .json files: checks the document parses and has the metrics envelope.
 
 Usage:
   check_metrics.py METRICS_FILE [--expect-histogram-count=NAME=N ...]
                                 [--expect-gauge=NAME=VALUE ...]
+                                [--expect-counter=NAME=N ...]
 
 Exits non-zero with a diagnostic on the first violated check.
 """
@@ -45,7 +48,9 @@ SAMPLE_RE = re.compile(
 )
 
 
-def check_prometheus(path: str, expectations: dict, gauges: dict) -> int:
+def check_prometheus(
+    path: str, expectations: dict, gauges: dict, counters: dict
+) -> int:
     with open(path) as f:
         lines = f.read().splitlines()
 
@@ -137,6 +142,18 @@ def check_prometheus(path: str, expectations: dict, gauges: dict) -> int:
             print(f"{name}: gauge value {value} != expected {expected}")
             return 1
 
+    for name, expected in counters.items():
+        if types.get(name) != "counter":
+            print(f"{name}: expected a counter, TYPE is {types.get(name)!r}")
+            return 1
+        value = samples.get((name, ""))
+        if value is None:
+            print(f"{name}: expected counter not found (unlabeled series)")
+            return 1
+        if value != expected:
+            print(f"{name}: counter value {value} != expected {expected}")
+            return 1
+
     print(f"OK: {len(types)} families, {len(buckets)} histogram series")
     return 0
 
@@ -158,6 +175,13 @@ def main() -> int:
         metavar="NAME=VALUE",
         help="unlabeled gauge NAME must equal VALUE (repeatable)",
     )
+    parser.add_argument(
+        "--expect-counter",
+        action="append",
+        default=[],
+        metavar="NAME=N",
+        help="unlabeled counter NAME must equal N (repeatable)",
+    )
     args = parser.parse_args()
 
     expectations = {}
@@ -168,13 +192,17 @@ def main() -> int:
     for spec in args.expect_gauge:
         name, _, value = spec.partition("=")
         gauges[name] = float(value)
+    counters = {}
+    for spec in args.expect_counter:
+        name, _, value = spec.partition("=")
+        counters[name] = int(value)
 
     if args.metrics.endswith(".json"):
-        if expectations or gauges:
+        if expectations or gauges or counters:
             print("--expect-* checks only apply to Prometheus files")
             return 2
         return check_json(args.metrics)
-    return check_prometheus(args.metrics, expectations, gauges)
+    return check_prometheus(args.metrics, expectations, gauges, counters)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,22 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   "$b" 2>/dev/null | tee -a "$OUT"
   echo | tee -a "$OUT"
 done
+
+# End-to-end serving rows: drive the socket server over the same cached
+# suite graphs the query-throughput bench used, with a deep pipeline
+# window so the row measures sustained server QPS (not loopback RTT).
+# The repeated (metric, k) workload keeps the result cache hot, which is
+# the configuration the serve_bench baseline rows are meant to track.
+CLI="$BUILD_DIR/tools/hcd_cli"
+if [ -x "$CLI" ]; then
+  for g in bench_data/*.bin; do
+    [ -f "$g" ] || continue
+    echo "===== serve-bench $(basename "$g") =====" | tee -a "$OUT"
+    "$CLI" serve-bench "$g" --connections=8 --server-workers=8 \
+      --queries=40000 --pipeline=32 2>/dev/null | tee -a "$OUT"
+    echo | tee -a "$OUT"
+  done
+fi
 echo "wrote $OUT"
 
 if command -v python3 > /dev/null 2>&1; then

@@ -116,6 +116,7 @@ void MetricsRegistry::Uninstall() {
 MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
     const std::string& name, const std::string& help,
     const MetricLabels& labels, Kind kind) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   Family& family = families_[name];
   if (family.children.empty()) {

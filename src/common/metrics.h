@@ -125,6 +125,15 @@ class MetricsRegistry {
   /// rendered as null).
   std::string RenderJson() const;
 
+  /// Number of Get{Counter,Gauge,Histogram} resolutions ever performed on
+  /// this registry. Each resolution takes the registry mutex and walks two
+  /// maps, so hot paths must resolve once up front and reuse the returned
+  /// pointer; tests and microbenchmarks assert a serve loop performs zero
+  /// lookups per request by sampling this before and after.
+  uint64_t lookup_count() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 
@@ -147,6 +156,7 @@ class MetricsRegistry {
 
   static std::atomic<MetricsRegistry*> current_;
 
+  std::atomic<uint64_t> lookups_{0};
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;
 };

@@ -152,6 +152,15 @@ class ScopedStage {
 /// and control characters).
 std::string JsonEscape(const std::string& s);
 
+/// `value` if it is a finite number, else 0.0. Every ratio printed into a
+/// JSON report must pass through this: a zero-duration or zero-read run
+/// otherwise divides by zero and emits `inf`/`nan`, which no strict JSON
+/// parser accepts (json.loads, the test parser in tests/test_util.h, most
+/// dashboards).
+inline double FiniteOrZero(double value) {
+  return __builtin_isfinite(value) ? value : 0.0;
+}
+
 }  // namespace hcd
 
 #endif  // HCD_COMMON_TELEMETRY_H_

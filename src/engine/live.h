@@ -89,6 +89,11 @@ class SnapshotReader {
     return QuerySnapshot(cached_);
   }
 
+  /// Epoch of the generation the last Snapshot() call returned (0 before
+  /// the first call). Lets a serving worker key caches / responses off the
+  /// generation it actually holds, not the possibly-newer published one.
+  uint64_t observed_epoch() const { return cached_epoch_; }
+
  private:
   const SnapshotManager* manager_;
   std::shared_ptr<const SnapshotState> cached_;

@@ -31,4 +31,46 @@ bool InSameKCore(const HcdForest& forest, VertexId u, VertexId v, uint32_t k) {
   return nu == NodeOfKCoreContaining(forest, v, k);
 }
 
+TreeNodeId NodeOfKCoreContaining(const FlatHcdIndex& index, VertexId v,
+                                 uint32_t k) {
+  if (v >= index.NumVertices()) return kInvalidNode;
+  TreeNodeId node = index.Tid(v);
+  if (node == kInvalidNode || index.Level(node) < k) return kInvalidNode;
+  while (true) {
+    const TreeNodeId parent = index.Parent(node);
+    if (parent == kInvalidNode || index.Level(parent) < k) return node;
+    node = parent;
+  }
+}
+
+TreeNodeId NodeOfKCoreContainingAll(const FlatHcdIndex& index,
+                                    std::span<const VertexId> vertices,
+                                    uint32_t k) {
+  if (vertices.empty()) return kInvalidNode;
+  TreeNodeId common = kInvalidNode;
+  for (const VertexId v : vertices) {
+    const TreeNodeId node = NodeOfKCoreContaining(index, v, k);
+    if (node == kInvalidNode) return kInvalidNode;
+    if (common == kInvalidNode) {
+      common = node;
+    } else if (node != common) {
+      return kInvalidNode;
+    }
+  }
+  return common;
+}
+
+uint32_t CorenessOf(const FlatHcdIndex& index, VertexId v) {
+  if (v >= index.NumVertices()) return 0;
+  const TreeNodeId node = index.Tid(v);
+  return node == kInvalidNode ? 0 : index.Level(node);
+}
+
+bool InSameKCore(const FlatHcdIndex& index, VertexId u, VertexId v,
+                 uint32_t k) {
+  const TreeNodeId nu = NodeOfKCoreContaining(index, u, k);
+  if (nu == kInvalidNode) return false;
+  return nu == NodeOfKCoreContaining(index, v, k);
+}
+
 }  // namespace hcd

@@ -1,0 +1,61 @@
+#ifndef HCD_SERVER_CLIENT_H_
+#define HCD_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace hcd::server {
+
+/// Blocking client for the query server's framed protocol: one TCP
+/// connection, requests answered in order. Used by `hcd_cli serve-bench`,
+/// the CI smoke job and the end-to-end tests. Not thread-safe; open one
+/// client per driving thread.
+///
+/// Requests can be pipelined: any number of SendQuery calls may be in
+/// flight before the matching ReadQueryResponse calls, and the server
+/// answers strictly in order — a batch of queries then costs one round
+/// trip. Query() is the one-at-a-time convenience wrapper.
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1"), retrying
+  /// connection-refused until `timeout_seconds` elapses so a caller can
+  /// race a server that is still binding (the CI smoke job does exactly
+  /// this instead of sleeping).
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_seconds = 5.0);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One query, one response (SendQuery + ReadQueryResponse).
+  Status Query(const QueryRequest& request, QueryResponse* response);
+
+  /// Writes one query frame without waiting for the answer.
+  Status SendQuery(const QueryRequest& request);
+  /// Reads the next response frame (answers arrive in send order).
+  Status ReadQueryResponse(QueryResponse* response);
+
+  /// Fetches the server's Prometheus exposition. On an OK status the text
+  /// is in `*text`; an overloaded/bad-request status is returned as an
+  /// error.
+  Status FetchMetrics(std::string* text);
+
+ private:
+  Status WriteFrame(std::string_view payload);
+  Status ReadFrame(std::string* payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace hcd::server
+
+#endif  // HCD_SERVER_CLIENT_H_

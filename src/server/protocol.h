@@ -1,0 +1,120 @@
+#ifndef HCD_SERVER_PROTOCOL_H_
+#define HCD_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "search/metrics.h"
+
+namespace hcd::server {
+
+/// Wire format of the query server (docs/SERVING.md has the byte-level
+/// diagrams). Every message is one length-prefixed frame:
+///
+///   u32 payload_length | payload bytes
+///
+/// followed immediately by the payload. All integers are little-endian
+/// fixed-width; doubles travel as their IEEE-754 bit pattern in a u64, so
+/// a score round-trips bit-identically. A frame's payload is capped at
+/// kMaxPayloadBytes — a peer announcing more is a protocol error and the
+/// connection is closed (this bounds per-connection memory against
+/// garbage or hostile length prefixes).
+///
+/// Request payload:
+///   u8  type                    (MessageType)
+///   -- type == kQuery:
+///   u8  metric                  (index into kAllMetrics)
+///   u32 k                       (0 = no level constraint)
+///   u32 max_return_vertices     (cap on vertices echoed back)
+///   u32 num_vertices
+///   u32 vertices[num_vertices]
+///
+/// Query semantics: with an empty vertex set, the best-scoring k-core
+/// under `metric` over all tree nodes of level >= k (k = 0 is exactly
+/// QuerySnapshot::Search). With vertices, the k-core containing *all* of
+/// them (the shared ancestor-walk node), scored under `metric`; `found`
+/// is false when no such core exists.
+///
+/// Response payload:
+///   u8  status                  (ResponseStatus)
+///   -- status == kOk, answering kQuery:
+///   u64 epoch                   (snapshot generation that answered)
+///   u8  cache_hit
+///   u8  found
+///   u32 level                   (k of the answering core)
+///   u64 core_size
+///   u64 score_bits              (IEEE-754 double)
+///   u32 num_vertices            (<= requested max_return_vertices)
+///   u32 vertices[num_vertices]
+///   -- status == kOk, answering kMetrics:
+///   the Prometheus text exposition, raw bytes to end of frame
+///   -- status == kOverloaded / kBadRequest: nothing further; an
+///   overloaded server sends this frame right after accept and closes.
+enum class MessageType : uint8_t {
+  kQuery = 1,
+  kMetrics = 2,
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kOverloaded = 1,
+  kBadRequest = 2,
+};
+
+/// Hard cap on one frame's payload (1 MiB): bigger than any legitimate
+/// query or metrics dump, small enough that a bad length prefix cannot
+/// make a worker allocate unbounded memory.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+struct QueryRequest {
+  Metric metric = Metric::kAverageDegree;
+  uint32_t k = 0;
+  uint32_t max_return_vertices = 0;
+  std::vector<VertexId> vertices;
+};
+
+struct QueryResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  uint64_t epoch = 0;
+  bool cache_hit = false;
+  bool found = false;
+  uint32_t level = 0;
+  uint64_t core_size = 0;
+  double score = 0.0;
+  std::vector<VertexId> vertices;
+};
+
+// --- payload encoding (no framing) -----------------------------------------
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeMetricsRequest();
+std::string EncodeQueryResponse(const QueryResponse& response);
+std::string EncodeMetricsResponse(std::string_view prometheus_text);
+/// The one-byte shed/bad-request frames.
+std::string EncodeStatusOnlyResponse(ResponseStatus status);
+
+/// Decoders are strict: exact length, in-range enum values, and no
+/// trailing bytes (except the metrics response, whose tail IS the text).
+/// They return false on any malformed payload and leave *out unspecified.
+bool DecodeRequestType(std::string_view payload, MessageType* out);
+bool DecodeQueryRequest(std::string_view payload, QueryRequest* out);
+bool DecodeQueryResponse(std::string_view payload, QueryResponse* out);
+/// Splits a response payload into status + metrics text.
+bool DecodeMetricsResponse(std::string_view payload, ResponseStatus* status,
+                           std::string* text);
+
+/// Appends `payload` to `out` as one frame (length prefix + bytes).
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// The canonical cache key of a query: metric, k and the sorted,
+/// deduplicated vertex set, packed as bytes. Two requests that must
+/// receive the same answer on one snapshot produce the same key
+/// regardless of vertex order or duplicates.
+std::string CacheKeyFor(const QueryRequest& request);
+
+}  // namespace hcd::server
+
+#endif  // HCD_SERVER_PROTOCOL_H_

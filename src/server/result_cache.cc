@@ -1,0 +1,99 @@
+#include "server/result_cache.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace hcd::server {
+
+ResultCache::ResultCache() : ResultCache(Options()) {}
+
+ResultCache::ResultCache(Options options) : options_(options) {
+  HCD_CHECK(options_.shards > 0) << "a result cache needs at least one shard";
+  shards_ = std::vector<Shard>(options_.shards);
+}
+
+ResultCache::Shard* ResultCache::ShardFor(const std::string& key) {
+  return &shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void ResultCache::AdvanceLocked(Shard* shard, uint64_t epoch) {
+  if (!shard->map.empty()) {
+    shard->map.clear();
+    epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard->epoch = epoch;
+}
+
+bool ResultCache::Lookup(uint64_t epoch, const std::string& key,
+                         CachedResult* out) {
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (epoch > shard->epoch) {
+    // First sight of a newer generation: everything resident answers an
+    // older snapshot and is dropped wholesale.
+    AdvanceLocked(shard, epoch);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (epoch < shard->epoch) {
+    // The caller is finishing queries on a draining generation while the
+    // shard already serves a newer one. Serving the resident (newer)
+    // entries would hand the caller answers from a snapshot it does not
+    // hold, so this is always a miss.
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const auto it = shard->map.find(key);
+  if (it == shard->map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = it->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(uint64_t epoch, const std::string& key,
+                         const CachedResult& value) {
+  HCD_CHECK(value.epoch == epoch)
+      << "cached result stamped with epoch " << value.epoch
+      << " offered for epoch " << epoch;
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (epoch < shard->epoch) {
+    // A draining generation's computation arriving after handover: the
+    // result is correct for its own epoch but that epoch is gone here.
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (epoch > shard->epoch) AdvanceLocked(shard, epoch);
+  if (shard->map.size() >= options_.max_entries_per_shard &&
+      shard->map.find(key) == shard->map.end()) {
+    return;  // full: new keys are computed fresh but not retained
+  }
+  shard->map.insert_or_assign(key, value);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  stats.epoch_flushes = epoch_flushes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t ResultCache::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace hcd::server

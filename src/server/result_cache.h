@@ -1,0 +1,109 @@
+#ifndef HCD_SERVER_RESULT_CACHE_H_
+#define HCD_SERVER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "hcd/forest.h"
+
+namespace hcd::server {
+
+/// One cached query answer. The tree node id is stored alongside the
+/// scalar result so the responder can serve the core's vertex span in
+/// O(1) from the snapshot of the same epoch — node ids are only
+/// meaningful against the generation recorded in `epoch`, which is why
+/// the cache never lets an entry cross generations.
+struct CachedResult {
+  uint64_t epoch = 0;
+  bool found = false;
+  TreeNodeId node = kInvalidNode;
+  uint32_t level = 0;
+  uint64_t core_size = 0;
+  double score = 0.0;
+};
+
+/// Epoch-keyed result cache of the query server. Results are immutable
+/// per snapshot (every piece behind a QuerySnapshot is deeply const), so
+/// correctness reduces to one rule: an entry inserted against epoch E may
+/// only ever be returned to a lookup for epoch E. The cache enforces the
+/// rule per shard:
+///
+///   - Lookup(E, key): if the shard's resident epoch is older than E the
+///     whole shard is dropped first (the wholesale invalidation on
+///     publish) and the lookup misses; if the shard is *newer* than E the
+///     caller holds a draining generation mid-handover and simply misses
+///     — it computes against its own snapshot and its insert is
+///     discarded. Either way a stale-epoch result is never served.
+///   - Insert(E, value): ignored unless E is the shard's resident epoch
+///     (advancing it first when E is newer).
+///
+/// Sharded by key hash so concurrent workers rarely contend on one mutex;
+/// each shard is bounded (`max_entries_per_shard`) so a hostile or
+/// high-cardinality key stream cannot grow the cache without limit —
+/// beyond the bound new keys are computed but not retained.
+class ResultCache {
+ public:
+  struct Options {
+    size_t shards = 16;
+    size_t max_entries_per_shard = 1 << 16;
+  };
+
+  /// Monotonic totals since construction (relaxed atomics; exact only at
+  /// quiescence, like every other counter in the registry).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t stale_drops = 0;    ///< inserts/lookups from draining epochs
+    uint64_t epoch_flushes = 0;  ///< shard-level wholesale invalidations
+  };
+
+  ResultCache();
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True and fills `*out` on a hit at exactly `epoch`.
+  bool Lookup(uint64_t epoch, const std::string& key, CachedResult* out);
+
+  /// Offers `value` (whose .epoch must equal `epoch`) for retention.
+  void Insert(uint64_t epoch, const std::string& key,
+              const CachedResult& value);
+
+  Stats stats() const;
+
+  /// Entries currently resident (sums shard sizes; test/introspection
+  /// only).
+  size_t Size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t epoch = 0;  ///< generation of every resident entry
+    std::unordered_map<std::string, CachedResult> map;
+  };
+
+  /// Drops the shard's entries and advances it to `epoch`. Caller holds
+  /// the shard mutex.
+  void AdvanceLocked(Shard* shard, uint64_t epoch);
+
+  Shard* ShardFor(const std::string& key);
+
+  Options options_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> stale_drops_{0};
+  std::atomic<uint64_t> epoch_flushes_{0};
+};
+
+}  // namespace hcd::server
+
+#endif  // HCD_SERVER_RESULT_CACHE_H_

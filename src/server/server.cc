@@ -1,0 +1,422 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "hcd/query.h"
+#include "parallel/omp_utils.h"
+#include "search/metrics.h"
+
+namespace hcd::server {
+namespace {
+
+// The wire format encodes a metric as its index into kAllMetrics; the
+// per-metric histogram table is likewise indexed by the raw enum value.
+// Both are only sound while the array enumerates the enum in order.
+constexpr bool MetricsAreDense() {
+  for (size_t i = 0; i < std::size(kAllMetrics); ++i) {
+    if (static_cast<size_t>(kAllMetrics[i]) != i) return false;
+  }
+  return true;
+}
+static_assert(MetricsAreDense(),
+              "kAllMetrics must enumerate Metric values in declaration order");
+
+constexpr int kPollMillis = 100;  ///< stop-flag check cadence for blocked IO
+
+enum class ReadResult {
+  kFrame,    ///< one complete frame read
+  kClosed,   ///< peer closed cleanly at a frame boundary
+  kError,    ///< IO error or protocol violation (bad length, torn frame)
+  kStopped,  ///< server shutdown observed mid-wait
+};
+
+/// Receives exactly `n` bytes, polling so a shutdown is observed within
+/// kPollMillis even on an idle connection. `*got_any` reports whether any
+/// byte of the current frame arrived, distinguishing clean EOF from a
+/// torn frame.
+ReadResult RecvExact(int fd, char* buf, size_t n,
+                     const std::atomic<bool>& stop, bool* got_any) {
+  size_t done = 0;
+  while (done < n) {
+    if (stop.load(std::memory_order_relaxed)) return ReadResult::kStopped;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    if (ready == 0) continue;
+    const ssize_t r = ::recv(fd, buf + done, n - done, 0);
+    if (r == 0) {
+      return done == 0 && !*got_any ? ReadResult::kClosed : ReadResult::kError;
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadResult::kError;
+    }
+    done += static_cast<size_t>(r);
+    *got_any = true;
+  }
+  return ReadResult::kFrame;
+}
+
+/// Reads one length-prefixed frame into `*payload`.
+ReadResult ReadFrame(int fd, const std::atomic<bool>& stop,
+                     std::string* payload) {
+  char prefix[4];
+  bool got_any = false;
+  const ReadResult head = RecvExact(fd, prefix, sizeof(prefix), stop, &got_any);
+  if (head != ReadResult::kFrame) return head;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (length > kMaxPayloadBytes) return ReadResult::kError;
+  payload->resize(length);
+  if (length == 0) return ReadResult::kFrame;
+  return RecvExact(fd, payload->data(), length, stop, &got_any);
+}
+
+/// Sends all of `data`; MSG_NOSIGNAL so a vanished peer surfaces as an
+/// error return instead of SIGPIPE.
+bool WriteAll(int fd, std::string_view data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  AppendFrame(&out, payload);
+  return WriteAll(fd, out);
+}
+
+}  // namespace
+
+QueryOutcome ExecuteQuery(const QuerySnapshot& snapshot,
+                          const QueryRequest& request, SearchWorkspace* ws) {
+  QueryOutcome out;
+  out.epoch = snapshot.epoch();
+  const FlatHcdIndex& flat = snapshot.flat();
+  const SearchIndex& sidx = snapshot.search_index();
+  if (request.vertices.empty()) {
+    const SearchHit hit = SearchInto(flat, sidx, request.metric, ws);
+    if (request.k == 0) {
+      if (hit.best_node == kInvalidNode) return out;
+      out.found = true;
+      out.node = hit.best_node;
+      out.score = hit.best_score;
+    } else {
+      // Restrict the argmax to nodes of level >= k over the scores
+      // SearchInto just filled, keeping its first-node-wins tie order.
+      TreeNodeId best = kInvalidNode;
+      double best_score = 0.0;
+      for (TreeNodeId node = 0; node < flat.NumNodes(); ++node) {
+        if (flat.Level(node) < request.k) continue;
+        if (best == kInvalidNode || ws->scores[node] > best_score) {
+          best = node;
+          best_score = ws->scores[node];
+        }
+      }
+      if (best == kInvalidNode) return out;
+      out.found = true;
+      out.node = best;
+      out.score = best_score;
+    }
+  } else {
+    const TreeNodeId node =
+        NodeOfKCoreContainingAll(flat, request.vertices, request.k);
+    if (node == kInvalidNode) return out;
+    out.found = true;
+    out.node = node;
+    out.score = EvaluateMetric(request.metric,
+                               sidx.PrimaryFor(request.metric)[node],
+                               sidx.globals());
+  }
+  out.level = flat.Level(out.node);
+  out.core_size = flat.CoreSize(out.node);
+  return out;
+}
+
+QueryServer::QueryServer(const SnapshotManager* manager, ServerOptions options)
+    : manager_(manager), options_(options) {
+  HCD_CHECK(manager_ != nullptr) << "a query server needs a snapshot manager";
+  if (options_.workers <= 0) options_.workers = HardwareThreads();
+  if (options_.max_pending < 0) options_.max_pending = 0;
+  if (options_.cache) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_options);
+  }
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  HCD_CHECK(!started_) << "query server already started";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(message);
+  }
+  if (::listen(listen_fd_, options_.max_pending + options_.workers + 16) != 0) {
+    const std::string message = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  // Resolve every instrument once, before any worker exists: the
+  // per-request path must perform zero registry lookups (bench_micro's
+  // zero-lookup row and server_test assert exactly this).
+  if (MetricsRegistry* registry = MetricsRegistry::Current()) {
+    instruments_.requests = registry->GetCounter(
+        "hcd_server_requests_total", "Query requests answered by the server.");
+    instruments_.cache_hits = registry->GetCounter(
+        "hcd_server_cache_hits_total",
+        "Query requests answered from the epoch-keyed result cache.");
+    instruments_.overload = registry->GetCounter(
+        "hcd_server_overload_total",
+        "Connections shed by admission control (pending queue full).");
+    instruments_.bad_requests = registry->GetCounter(
+        "hcd_server_bad_requests_total",
+        "Malformed frames; the offending connection is closed.");
+    const std::string latency_name = "hcd_query_latency_seconds";
+    const std::string latency_help = "End-to-end latency of one served query.";
+    instruments_.latency = registry->GetHistogram(latency_name, latency_help);
+    instruments_.latency_by_metric.resize(std::size(kAllMetrics));
+    for (size_t i = 0; i < std::size(kAllMetrics); ++i) {
+      instruments_.latency_by_metric[i] = registry->GetHistogram(
+          latency_name, latency_help, {{"metric", MetricName(kAllMetrics[i])}});
+    }
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Connections still pending were never owned by a worker: shed them.
+  for (const int fd : pending_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kOverloaded));
+    ::close(fd);
+  }
+  pending_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool admitted = false;
+    {
+      // Admission: there is an idle worker to take the connection now, or
+      // room in the bounded pending queue. Everything else is shed.
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() <
+          idle_workers_ + static_cast<size_t>(options_.max_pending)) {
+        pending_.push_back(fd);
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.overload != nullptr) instruments_.overload->Increment();
+      WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kOverloaded));
+      ::close(fd);
+    }
+  }
+}
+
+void QueryServer::WorkerLoop() {
+  // Worker-owned serve state, created once per worker lifetime: the
+  // epoch-cached snapshot reader and the reusable scoring workspace
+  // (instruments were already resolved at Start).
+  SnapshotReader reader(*manager_);
+  SearchWorkspace ws;
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      ++idle_workers_;
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      --idle_workers_;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    ServeConnection(fd, &reader, &ws);
+    ::close(fd);
+  }
+}
+
+void QueryServer::ServeConnection(int fd, SnapshotReader* reader,
+                                  SearchWorkspace* ws) {
+  std::string payload;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const ReadResult read = ReadFrame(fd, stop_, &payload);
+    if (read == ReadResult::kClosed || read == ReadResult::kStopped) return;
+    if (read == ReadResult::kError) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.bad_requests != nullptr) {
+        instruments_.bad_requests->Increment();
+      }
+      WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kBadRequest));
+      return;
+    }
+    MessageType type;
+    if (!DecodeRequestType(payload, &type)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.bad_requests != nullptr) {
+        instruments_.bad_requests->Increment();
+      }
+      WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kBadRequest));
+      return;
+    }
+    if (type == MessageType::kMetrics) {
+      metrics_requests_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry* registry = MetricsRegistry::Current();
+      const std::string text =
+          registry != nullptr ? registry->RenderPrometheus() : std::string();
+      if (!WriteFrame(fd, EncodeMetricsResponse(text))) return;
+      continue;
+    }
+    QueryRequest request;
+    if (!DecodeQueryRequest(payload, &request)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.bad_requests != nullptr) {
+        instruments_.bad_requests->Increment();
+      }
+      WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kBadRequest));
+      return;
+    }
+    if (!AnswerQuery(fd, request, reader, ws)) return;
+  }
+}
+
+bool QueryServer::AnswerQuery(int fd, const QueryRequest& request,
+                              SnapshotReader* reader, SearchWorkspace* ws) {
+  Timer timer;
+  // The generation this request is answered on is fixed here: a publish
+  // racing with the request leaves this query on its acquired snapshot,
+  // and the cache refuses to mix the two epochs.
+  const QuerySnapshot snapshot = reader->Snapshot();
+  const uint64_t epoch = snapshot.epoch();
+
+  CachedResult result;
+  bool hit = false;
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CacheKeyFor(request);
+    hit = cache_->Lookup(epoch, key, &result);
+  }
+  if (!hit) {
+    const QueryOutcome outcome = ExecuteQuery(snapshot, request, ws);
+    result = {outcome.epoch, outcome.found, outcome.node,
+              outcome.level, outcome.core_size, outcome.score};
+    if (cache_ != nullptr) cache_->Insert(epoch, key, result);
+  }
+
+  QueryResponse response;
+  response.status = ResponseStatus::kOk;
+  response.epoch = epoch;
+  response.cache_hit = hit;
+  response.found = result.found;
+  response.level = result.level;
+  response.core_size = result.core_size;
+  response.score = result.score;
+  if (result.found && request.max_return_vertices > 0) {
+    // Node ids in the cache are valid exactly for `epoch`, which is the
+    // generation `snapshot` holds, so this span cannot dangle.
+    const std::span<const VertexId> members =
+        snapshot.CoreVertices(result.node);
+    const size_t count =
+        std::min<size_t>(request.max_return_vertices, members.size());
+    response.vertices.assign(members.begin(), members.begin() + count);
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (instruments_.requests != nullptr) {
+    instruments_.requests->Increment();
+    if (hit) instruments_.cache_hits->Increment();
+    const double seconds = timer.Seconds();
+    instruments_.latency->Observe(seconds);
+    instruments_.latency_by_metric[static_cast<size_t>(request.metric)]
+        ->Observe(seconds);
+  }
+  return WriteFrame(fd, EncodeQueryResponse(response));
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.metrics_requests = metrics_requests_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hcd::server

@@ -1,0 +1,172 @@
+#ifndef HCD_SERVER_SERVER_H_
+#define HCD_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/live.h"
+#include "engine/snapshot.h"
+#include "search/search_index.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+
+namespace hcd::server {
+
+/// One evaluated query, before response encoding. `epoch` is always the
+/// generation of the snapshot that answered (found or not).
+struct QueryOutcome {
+  uint64_t epoch = 0;
+  bool found = false;
+  TreeNodeId node = kInvalidNode;
+  uint32_t level = 0;
+  uint64_t core_size = 0;
+  double score = 0.0;
+};
+
+/// Evaluates one protocol query against `snapshot`, the single scoring
+/// path the server, serve-bench's self mode and the soak tests share:
+///
+///   - empty vertex set, k == 0: QuerySnapshot-equivalent global best
+///     (bit-identical to SearchInto on the same snapshot);
+///   - empty vertex set, k > 0: best-scoring node among those of level
+///     >= k (first such node wins ties, matching SearchInto's order);
+///   - non-empty vertex set: the k-core containing all listed vertices
+///     (NodeOfKCoreContainingAll ancestor walks), scored under the
+///     requested metric in O(1) from the eager primary values.
+///
+/// Reads only const snapshot state; any number of threads may call it
+/// concurrently, each with its own workspace.
+QueryOutcome ExecuteQuery(const QuerySnapshot& snapshot,
+                          const QueryRequest& request, SearchWorkspace* ws);
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+  /// port() after Start). The server is loopback-only by design — it is a
+  /// serving-stack testbed, not a hardened public front door.
+  uint16_t port = 0;
+  /// Fixed worker pool size; 0 = hardware threads. Each worker owns a
+  /// SnapshotReader, a reusable SearchWorkspace and pre-resolved
+  /// instruments, and serves one connection at a time to completion.
+  int workers = 0;
+  /// Admission control: accepted connections waiting for a worker beyond
+  /// this bound are shed with a kOverloaded frame and closed.
+  int max_pending = 64;
+  /// Serve results through the epoch-keyed ResultCache.
+  bool cache = true;
+  ResultCache::Options cache_options;
+};
+
+/// Counters mirrored into the metrics registry (kept as plain atomics too
+/// so tests and serve-bench's self mode can read them without a registry).
+struct ServerStats {
+  uint64_t requests = 0;       ///< query requests answered
+  uint64_t cache_hits = 0;     ///< answered from the result cache
+  uint64_t metrics_requests = 0;
+  uint64_t bad_requests = 0;   ///< malformed frames (connection closed)
+  uint64_t shed = 0;           ///< connections refused by admission control
+  uint64_t connections = 0;    ///< connections handed to workers
+};
+
+/// Blocking-socket query server over a SnapshotManager: one accept loop,
+/// a bounded pending-connection queue, and a fixed worker pool. A worker
+/// pops a connection and answers its length-prefixed requests in order
+/// until the peer closes (clients may pipeline many frames; each is
+/// answered as soon as it is read, so a batch of requests costs one
+/// round trip). Publishing a new generation through the manager never
+/// blocks the server: workers pick up the new epoch on their next
+/// request via their SnapshotReader, in-flight queries finish on the
+/// generation they acquired, and the result cache invalidates itself
+/// wholesale per shard on first sight of the new epoch.
+///
+/// With a MetricsRegistry installed, Start() resolves (once, never per
+/// request): counters hcd_server_requests_total,
+/// hcd_server_cache_hits_total, hcd_server_overload_total,
+/// hcd_server_bad_requests_total, and the hcd_query_latency_seconds
+/// histogram family (one unlabeled series plus one {metric=...} child per
+/// metric). The kMetrics endpoint serves the installed registry's
+/// Prometheus rendering.
+class QueryServer {
+ public:
+  /// The manager must outlive the server. Does not listen yet.
+  QueryServer(const SnapshotManager* manager, ServerOptions options);
+
+  /// Stops and joins if still running.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop and worker pool. Errors
+  /// (port in use, ...) are returned, not aborted on.
+  Status Start();
+
+  /// Stops accepting, drains workers and joins all threads. Idempotent.
+  /// In-flight requests finish; connections waiting in the pending queue
+  /// are shed.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  ServerStats stats() const;
+  /// Null when ServerOptions::cache is false.
+  const ResultCache* cache() const { return cache_.get(); }
+
+ private:
+  /// Per-metric histogram pointers indexed by Metric value, resolved at
+  /// Start so the per-request path performs zero registry lookups.
+  struct Instruments {
+    Counter* requests = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* overload = nullptr;
+    Counter* bad_requests = nullptr;
+    Histogram* latency = nullptr;
+    std::vector<Histogram*> latency_by_metric;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection to completion; returns on EOF, error, or stop.
+  void ServeConnection(int fd, SnapshotReader* reader, SearchWorkspace* ws);
+  /// Answers one already-decoded query request on `fd`.
+  bool AnswerQuery(int fd, const QueryRequest& request, SnapshotReader* reader,
+                   SearchWorkspace* ws);
+
+  const SnapshotManager* manager_;
+  ServerOptions options_;
+  std::unique_ptr<ResultCache> cache_;
+  Instruments instruments_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;   ///< accepted fds awaiting a worker
+  size_t idle_workers_ = 0;   ///< workers parked in WorkerLoop's wait
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> metrics_requests_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> connections_{0};
+};
+
+}  // namespace hcd::server
+
+#endif  // HCD_SERVER_SERVER_H_

@@ -70,5 +70,47 @@ TEST(LatencyRecorder, MergeCombinesWorkerRecorders) {
   EXPECT_EQ(a.Count(), 4u);
 }
 
+TEST(LatencyRecorder, QuantilesStayCorrectAfterRecordingPastAReport) {
+  // The sort-once memoization must re-dirty on Record/Merge: a quantile
+  // read, more samples, then another read has to see the new data, not
+  // the stale sorted order.
+  LatencyRecorder recorder;
+  recorder.Record(5.0);
+  recorder.Record(1.0);
+  EXPECT_DOUBLE_EQ(recorder.P50(), 1.0);  // sorts and memoizes here
+  recorder.Record(0.5);
+  recorder.Record(0.25);
+  EXPECT_DOUBLE_EQ(recorder.P50(), 0.5);
+  EXPECT_DOUBLE_EQ(recorder.Quantile(1.0), 5.0);
+
+  LatencyRecorder other;
+  other.Record(0.1);
+  other.Finalize();
+  recorder.Merge(other);  // merge after both sides finalized
+  EXPECT_DOUBLE_EQ(recorder.Quantile(0.0), 0.1);
+  EXPECT_EQ(recorder.Count(), 5u);
+}
+
+TEST(LatencyRecorder, FinalizeIsIdempotent) {
+  LatencyRecorder recorder;
+  recorder.Record(2.0);
+  recorder.Record(1.0);
+  recorder.Finalize();
+  recorder.Finalize();
+  EXPECT_DOUBLE_EQ(recorder.P50(), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.P99(), 2.0);
+}
+
+TEST(DatasetNameFromPath, StripsDirectoryAndExtension) {
+  EXPECT_EQ(DatasetNameFromPath("data/web-Google.bin"), "web-Google");
+  EXPECT_EQ(DatasetNameFromPath("/a/b/c/graph.txt"), "graph");
+  EXPECT_EQ(DatasetNameFromPath("plain"), "plain");
+  EXPECT_EQ(DatasetNameFromPath("dir.with.dots/name"), "name");
+  EXPECT_EQ(DatasetNameFromPath(".hidden"), ".hidden");  // no stem to keep
+  EXPECT_EQ(DatasetNameFromPath("archive.tar.gz"), "archive.tar");
+  EXPECT_EQ(DatasetNameFromPath(""), "unnamed");
+  EXPECT_EQ(DatasetNameFromPath("dir/"), "unnamed");
+}
+
 }  // namespace
 }  // namespace hcd::bench

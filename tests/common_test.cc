@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -183,6 +184,22 @@ TEST(StageTelemetry, CountStageAndStageSecondsMatchLabels) {
   EXPECT_DOUBLE_EQ(telemetry.StageSeconds("serve"), 3.5);
   EXPECT_EQ(telemetry.CountStage("missing"), 0u);
   EXPECT_EQ(telemetry.StageSeconds("missing"), 0.0);
+}
+
+TEST(FiniteOrZero, PassesFiniteValuesAndZerosTheRest) {
+  EXPECT_DOUBLE_EQ(FiniteOrZero(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(-2.25), -2.25);
+  // The exact shapes a degenerate bench produces: N/0, 0/0, and overflow.
+  EXPECT_DOUBLE_EQ(FiniteOrZero(1.0 / 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(-1.0 / 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(0.0 / 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(std::numeric_limits<double>::quiet_NaN()),
+                   0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(std::numeric_limits<double>::max() * 2.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(FiniteOrZero(std::numeric_limits<double>::min()),
+                   std::numeric_limits<double>::min());  // subnormal-adjacent
 }
 
 TEST(Timer, MeasuresElapsedTime) {

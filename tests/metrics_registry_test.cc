@@ -198,6 +198,24 @@ TEST(MetricsRegistry, JsonRendersAsStrictJson) {
   EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
 }
 
+TEST(MetricsRegistry, LookupCountTracksEveryResolution) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.lookup_count(), 0u);
+  Counter* counter = registry.GetCounter("reqs_total", "requests");
+  EXPECT_EQ(registry.lookup_count(), 1u);
+  // Re-resolving the same instrument is still a lookup — the point of the
+  // counter is to catch hot paths that resolve per call instead of once.
+  EXPECT_EQ(registry.GetCounter("reqs_total", "requests"), counter);
+  EXPECT_EQ(registry.lookup_count(), 2u);
+  registry.GetGauge("depth", "queue depth");
+  registry.GetHistogram("lat_seconds", "latency", {{"metric", "x"}});
+  EXPECT_EQ(registry.lookup_count(), 4u);
+  // Using an instrument is free: no lookups from the serve path.
+  counter->Increment();
+  registry.RenderPrometheus();
+  EXPECT_EQ(registry.lookup_count(), 4u);
+}
+
 TEST(MetricsRegistry, EmptyRegistryRendersEmptyDocuments) {
   MetricsRegistry registry;
   EXPECT_EQ(registry.RenderPrometheus(), "");

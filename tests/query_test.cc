@@ -60,6 +60,75 @@ TEST(Query, MatchesLocalCoreSearchOnSuite) {
   }
 }
 
+TEST(FlatQuery, MatchesForestAnswersOnSuite) {
+  // The frozen-index overloads must agree with the builder-forest queries
+  // on every graph regime: same coreness, same membership node, same
+  // k-core vertex set (as a set — Freeze renumbers nodes in preorder).
+  for (const auto& tc : testing::StandardGraphSuite()) {
+    SCOPED_TRACE(tc.name);
+    const Graph& g = tc.graph;
+    CoreDecomposition cd = BzCoreDecomposition(g);
+    HcdForest f = PhcdBuild(g, cd);
+    const FlatHcdIndex flat = Freeze(f);
+    for (VertexId v = 0; v < g.NumVertices();
+         v += std::max<VertexId>(1, g.NumVertices() / 13)) {
+      EXPECT_EQ(CorenessOf(flat, v), CorenessOf(f, v)) << "vertex " << v;
+      for (uint32_t k : {1u, 2u, CorenessOf(f, v), CorenessOf(f, v) + 1}) {
+        const TreeNodeId node = NodeOfKCoreContaining(flat, v, k);
+        std::vector<VertexId> via_forest = KCoreContaining(f, v, k);
+        if (node == kInvalidNode) {
+          EXPECT_TRUE(via_forest.empty()) << "vertex " << v << " k " << k;
+          continue;
+        }
+        const std::span<const VertexId> members = flat.CoreVertices(node);
+        std::vector<VertexId> via_flat(members.begin(), members.end());
+        std::sort(via_flat.begin(), via_flat.end());
+        std::sort(via_forest.begin(), via_forest.end());
+        EXPECT_EQ(via_flat, via_forest) << "vertex " << v << " k " << k;
+      }
+    }
+    // InSameKCore agrees on a few pairs.
+    for (VertexId u = 0; u + 1 < g.NumVertices() && u < 8; ++u) {
+      for (uint32_t k : {1u, 2u, 3u}) {
+        EXPECT_EQ(InSameKCore(flat, u, u + 1, k), InSameKCore(f, u, u + 1, k))
+            << "pair " << u << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(FlatQuery, ContainingAllIntersectsTheWalks) {
+  Graph g = PaperFigure1Graph();
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  const FlatHcdIndex flat = Freeze(PhcdBuild(g, cd));
+
+  // Empty input names no core.
+  EXPECT_EQ(NodeOfKCoreContainingAll(flat, {}, 2), kInvalidNode);
+
+  // A single vertex reduces to the one-vertex walk.
+  const std::vector<VertexId> just_zero = {0};
+  EXPECT_EQ(NodeOfKCoreContainingAll(flat, just_zero, 4),
+            NodeOfKCoreContaining(flat, 0, 4));
+
+  // Vertices 0 and 9 share the 2-core but no 3-core (paper figure 1).
+  const std::vector<VertexId> zero_and_nine = {0, 9};
+  const TreeNodeId shared2 = NodeOfKCoreContainingAll(flat, zero_and_nine, 2);
+  ASSERT_NE(shared2, kInvalidNode);
+  EXPECT_EQ(flat.Level(shared2), 2u);
+  EXPECT_EQ(NodeOfKCoreContainingAll(flat, zero_and_nine, 3), kInvalidNode);
+
+  // 0 and 6 share a 3-core; the shared node is the one both walks reach.
+  const std::vector<VertexId> zero_and_six = {0, 6};
+  const TreeNodeId shared3 = NodeOfKCoreContainingAll(flat, zero_and_six, 3);
+  ASSERT_NE(shared3, kInvalidNode);
+  EXPECT_EQ(shared3, NodeOfKCoreContaining(flat, 0, 3));
+  EXPECT_EQ(shared3, NodeOfKCoreContaining(flat, 6, 3));
+
+  // Any vertex outside every k-core poisons the whole set.
+  const std::vector<VertexId> with_shell = {0, 13};
+  EXPECT_EQ(NodeOfKCoreContainingAll(flat, with_shell, 3), kInvalidNode);
+}
+
 TEST(Query, AncestorWalkLevels) {
   Graph g = PlantedHierarchy(OnionSpec(8, 6), 2);
   CoreDecomposition cd = BzCoreDecomposition(g);

@@ -13,6 +13,8 @@
 //   hcd_cli bestk <graph> <metric> [flags]
 //   hcd_cli query-bench <graph> [--query-threads=N] [--queries=N]
 //                               [--metrics=a,b,...] [flags]
+//   hcd_cli serve <graph> [--port=N] [--server-workers=N] [flags]
+//   hcd_cli serve-bench <graph> | --connect=HOST:PORT [flags]
 //
 // Every command accepts --algo=phcd|lcps|naive, --threads=N,
 // --io-threads=N and --json; unknown or malformed flags abort with usage
@@ -27,6 +29,12 @@
 // --query-threads concurrent workers (each with a private reusable
 // SearchWorkspace) and reports QPS plus nearest-rank p50/p95/p99 latency.
 //
+// serve runs the socket front door (src/server) over the graph until
+// SIGINT/SIGTERM; serve-bench drives it from --connections loopback
+// clients — against an in-process server (positional graph) or an
+// external one (--connect) — and reports sustained QPS, tail latency and
+// the result-cache hit rate.
+//
 // <graph> is loaded as binary when the path ends in ".bin", else as an
 // edge-list text file.
 
@@ -34,6 +42,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +75,9 @@
 #include "search/best_k.h"
 #include "search/influential.h"
 #include "search/metrics.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "truss/truss_decomposition.h"
 #include "truss/truss_hierarchy.h"
 
@@ -86,6 +98,8 @@ Status SaveGraphAuto(const Graph& graph, const std::string& path) {
   if (HasSuffix(path, ".bin")) return hcd::SaveBinary(graph, path);
   return hcd::SaveEdgeListText(graph, path);
 }
+
+int WriteTextFile(const std::string& path, const std::string& text);
 
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -110,7 +124,28 @@ int Usage() {
       "  hcd_cli bestk <graph> <metric> [flags]\n"
       "  hcd_cli query-bench <graph> [flags]\n"
       "  hcd_cli live-bench <graph> [flags]\n"
-      "flags (query-bench, live-bench):\n"
+      "  hcd_cli serve <graph> [flags]\n"
+      "  hcd_cli serve-bench <graph> | --connect=HOST:PORT [flags]\n"
+      "flags (serve, serve-bench):\n"
+      "  --port=N                 TCP port on 127.0.0.1 (default: 0 =\n"
+      "                           ephemeral; serve prints the bound port)\n"
+      "  --server-workers=N       server worker threads (default:\n"
+      "                           hardware threads)\n"
+      "  --max-pending=N          pending connections beyond the idle\n"
+      "                           workers before shedding (default 64)\n"
+      "  --no-cache               disable the epoch-keyed result cache\n"
+      "flags (serve-bench):\n"
+      "  --connect=HOST:PORT      drive an already-running server instead\n"
+      "                           of an in-process one\n"
+      "  --connections=N          concurrent client connections (default 4)\n"
+      "  --distinct-k=N           distinct k values in the workload\n"
+      "                           (default 4; smaller = more cache hits)\n"
+      "  --pipeline=N             in-flight queries per connection\n"
+      "                           (default 1 = latency-faithful; deeper\n"
+      "                           windows measure sustained throughput)\n"
+      "  --server-metrics-out=F   fetch the server's /metrics exposition\n"
+      "                           after the run and write it to F\n"
+      "flags (query-bench, live-bench, serve-bench):\n"
       "  --query-threads=N        concurrent query workers (default:\n"
       "                           hardware threads)\n"
       "  --queries=N              total queries to serve (default 1000;\n"
@@ -160,6 +195,19 @@ struct CliArgs {
   double update_rate = 0.0;  ///< batches per second; 0 = unpaced
   uint64_t seed = 1;
   std::string live_flag;
+  // Server flags (serve / serve-bench only; rejected elsewhere via
+  // `server_flag`).
+  int port = 0;             ///< 0: ephemeral
+  std::string connect_host;
+  int connect_port = -1;    ///< <0: serve-bench runs an in-process server
+  int connections = 4;
+  int server_workers = 0;   ///< 0: hardware threads
+  int max_pending = 64;
+  int distinct_k = 4;
+  int pipeline = 1;  ///< in-flight queries per serve-bench connection
+  bool no_cache = false;
+  std::string server_metrics_out;
+  std::string server_flag;
 };
 
 bool MetricByName(const std::string& name, hcd::Metric* metric) {
@@ -324,6 +372,113 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
       }
       out->seed = static_cast<uint64_t>(seed);
       if (out->live_flag.empty()) out->live_flag = arg;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const std::string value = arg.substr(7);
+      char* end = nullptr;
+      const long port = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: bad --port value '%s' (want 0..65535)\n",
+                     value.c_str());
+        return false;
+      }
+      out->port = static_cast<int>(port);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      const size_t colon = value.rfind(':');
+      long port = -1;
+      if (colon != std::string::npos && colon > 0) {
+        const std::string port_str = value.substr(colon + 1);
+        char* end = nullptr;
+        port = std::strtol(port_str.c_str(), &end, 10);
+        if (port_str.empty() || *end != '\0') port = -1;
+      }
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: bad --connect value '%s' (want HOST:PORT)\n",
+                     value.c_str());
+        return false;
+      }
+      out->connect_host = value.substr(0, colon);
+      out->connect_port = static_cast<int>(port);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      const std::string value = arg.substr(14);
+      char* end = nullptr;
+      const long connections = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || connections <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --connections value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->connections = static_cast<int>(connections);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--server-workers=", 0) == 0) {
+      const std::string value = arg.substr(17);
+      char* end = nullptr;
+      const long workers = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || workers <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --server-workers value '%s' (want a "
+                     "positive integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->server_workers = static_cast<int>(workers);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--max-pending=", 0) == 0) {
+      const std::string value = arg.substr(14);
+      char* end = nullptr;
+      const long pending = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || pending < 0) {
+        std::fprintf(stderr,
+                     "error: bad --max-pending value '%s' (want a "
+                     "non-negative integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->max_pending = static_cast<int>(pending);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--distinct-k=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      char* end = nullptr;
+      const long distinct = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || distinct <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --distinct-k value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->distinct_k = static_cast<int>(distinct);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      const std::string value = arg.substr(11);
+      char* end = nullptr;
+      const long window = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || window <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --pipeline value '%s' (want a positive "
+                     "integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->pipeline = static_cast<int>(window);
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg == "--no-cache") {
+      out->no_cache = true;
+      if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--server-metrics-out=", 0) == 0) {
+      out->server_metrics_out = arg.substr(21);
+      if (out->server_metrics_out.empty()) {
+        std::fprintf(stderr,
+                     "error: --server-metrics-out needs a file path\n");
+        return false;
+      }
+      if (out->server_flag.empty()) out->server_flag = arg;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -719,7 +874,16 @@ int CmdQueryBench(const CliArgs& args) {
       latencies.Merge(worker_recorders[i]);
     }
   }
-  const double qps = static_cast<double>(queries) / wall;
+  // Guard the ratio: a degenerate wall time (clock granularity on a tiny
+  // run) must not put `inf`/`nan` into the JSON report or the baseline.
+  const double qps =
+      hcd::FiniteOrZero(static_cast<double>(queries) / wall);
+  hcd::bench::ReportBaseline(
+      "query_bench_cli", hcd::bench::DatasetNameFromPath(args.pos[0]),
+      workers, wall,
+      {{"qps", qps},
+       {"queries", static_cast<double>(queries)},
+       {"p99_us", latencies.P99() * 1e6}});
 
   if (args.json) {
     char buf[256];
@@ -872,12 +1036,13 @@ int CmdLiveBench(const CliArgs& args) {
     std::this_thread::sleep_for(std::chrono::duration<double>(live_wall));
   });
 
-  const double live_qps = static_cast<double>(live_phase.reads) /
-                          std::max(live_phase.wall, 1e-9);
-  const double readonly_qps = static_cast<double>(readonly_phase.reads) /
-                              std::max(readonly_phase.wall, 1e-9);
-  const double retained =
-      readonly_qps > 0.0 ? live_qps / readonly_qps : 0.0;
+  // Every ratio is guarded: a degenerate phase (zero wall, zero reads)
+  // must report 0, never `inf`/`nan` — the JSON report would not parse.
+  const double live_qps = hcd::FiniteOrZero(
+      static_cast<double>(live_phase.reads) / live_phase.wall);
+  const double readonly_qps = hcd::FiniteOrZero(
+      static_cast<double>(readonly_phase.reads) / readonly_phase.wall);
+  const double retained = hcd::FiniteOrZero(live_qps / readonly_qps);
   double apply_sum = 0.0, apply_max = 0.0, refreeze_sum = 0.0;
   uint64_t subcores = 0, full_rebuilds = 0;
   for (const hcd::BatchApplyReport& r : reports) {
@@ -938,6 +1103,258 @@ int CmdLiveBench(const CliArgs& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+/// Runs the socket front door over <graph> until SIGINT/SIGTERM: builds
+/// the hierarchy once (LiveEngine, so a future writer could keep applying
+/// batches), starts the QueryServer, prints the bound port, and waits.
+int CmdServe(const CliArgs& args) {
+  if (args.pos.size() != 1) return Usage();
+  Graph graph;
+  Status s = HasSuffix(args.pos[0], ".bin")
+                 ? hcd::LoadBinary(args.pos[0], &graph)
+                 : hcd::LoadEdgeListText(args.pos[0], &graph);
+  if (!s.ok()) return Fail(s);
+  hcd::LiveEngineOptions live_options;
+  live_options.engine = args.options;
+  hcd::LiveEngine live(std::move(graph), live_options);
+
+  hcd::server::ServerOptions options;
+  options.port = static_cast<uint16_t>(args.port);
+  options.workers = args.server_workers;
+  options.max_pending = args.max_pending;
+  options.cache = !args.no_cache;
+  hcd::server::QueryServer server(&live.manager(), options);
+  s = server.Start();
+  if (!s.ok()) return Fail(s);
+
+  // The port line is the readiness signal scripts wait for; flush it.
+  std::printf("serving %s on 127.0.0.1:%u (%d workers, cache %s)\n",
+              args.pos[0].c_str(), server.port(), server.workers(),
+              options.cache ? "on" : "off");
+  std::fflush(stdout);
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+
+  const hcd::server::ServerStats stats = server.stats();
+  if (args.json) {
+    std::printf(
+        "{\"command\":\"serve\",\"port\":%u,\"workers\":%d,"
+        "\"result\":{\"requests\":%llu,\"cache_hits\":%llu,"
+        "\"metrics_requests\":%llu,\"bad_requests\":%llu,\"shed\":%llu,"
+        "\"connections\":%llu}}\n",
+        server.port(), server.workers(),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.metrics_requests),
+        static_cast<unsigned long long>(stats.bad_requests),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.connections));
+    return 0;
+  }
+  std::printf("served %llu queries (%llu cache hits) over %llu connections; "
+              "%llu shed, %llu bad\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.bad_requests));
+  return 0;
+}
+
+/// Drives a query server from --connections loopback clients — an
+/// in-process one over the positional graph, or an external one named by
+/// --connect — and reports sustained QPS, nearest-rank tail latency and
+/// the result-cache hit rate. The workload cycles through the metric mix
+/// and --distinct-k k values, so every (metric, k) pair repeats and a
+/// warm cache answers most requests.
+int CmdServeBench(const CliArgs& args) {
+  const bool self_hosted = args.connect_port < 0;
+  if (self_hosted && args.pos.size() != 1) return Usage();
+  if (!self_hosted && !args.pos.empty()) return Usage();
+
+  std::optional<hcd::LiveEngine> live;
+  std::optional<hcd::server::QueryServer> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string dataset = "remote";
+  if (self_hosted) {
+    Graph graph;
+    Status s = HasSuffix(args.pos[0], ".bin")
+                   ? hcd::LoadBinary(args.pos[0], &graph)
+                   : hcd::LoadEdgeListText(args.pos[0], &graph);
+    if (!s.ok()) return Fail(s);
+    dataset = hcd::bench::DatasetNameFromPath(args.pos[0]);
+    hcd::LiveEngineOptions live_options;
+    live_options.engine = args.options;
+    live.emplace(std::move(graph), live_options);
+    hcd::server::ServerOptions options;
+    options.port = static_cast<uint16_t>(args.port);
+    options.workers = args.server_workers;
+    // Self mode drives exactly --connections clients; make sure admission
+    // control never sheds the bench's own load.
+    options.max_pending = std::max(args.max_pending, args.connections);
+    options.cache = !args.no_cache;
+    server.emplace(&live->manager(), options);
+    s = server->Start();
+    if (!s.ok()) return Fail(s);
+    port = server->port();
+  } else {
+    host = args.connect_host;
+    port = static_cast<uint16_t>(args.connect_port);
+  }
+
+  std::vector<hcd::Metric> workload = args.workload;
+  if (workload.empty()) {
+    workload.assign(std::begin(hcd::kAllMetrics), std::end(hcd::kAllMetrics));
+  }
+  const int connections = args.connections;
+  const int queries = args.queries;
+  const uint32_t distinct_k = static_cast<uint32_t>(args.distinct_k);
+
+  // Connection c serves query ids c, c+connections, ...; the key of query
+  // q is (metric q mod |mix|, k (q / |mix|) mod distinct_k), so the
+  // distinct-key count is |mix| * distinct_k and everything beyond the
+  // first cycle repeats — the cache-hit half of the acceptance test.
+  std::vector<hcd::bench::LatencyRecorder> recorders(connections);
+  std::vector<uint64_t> hit_counts(connections, 0);
+  std::vector<Status> worker_status(connections, Status::Ok());
+  hcd::Timer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c] {
+      hcd::server::QueryClient client;
+      Status s = client.Connect(host, port);
+      if (!s.ok()) {
+        worker_status[c] = s;
+        return;
+      }
+      // Windowed pipelining: keep up to --pipeline requests in flight per
+      // connection (the server answers a connection's frames in order, so
+      // response i matches request i). A window of 1 is the classic
+      // latency-faithful request/response loop; deeper windows amortize
+      // the per-frame syscall round trip and measure sustained server
+      // throughput instead of loopback RTT. Recorded latencies at depth
+      // > 1 include queueing time inside the window.
+      hcd::server::QueryRequest request;
+      hcd::server::QueryResponse response;
+      std::vector<int> ids;
+      for (int q = c; q < queries; q += connections) ids.push_back(q);
+      const size_t window = static_cast<size_t>(args.pipeline);
+      std::vector<hcd::Timer> in_flight(window);
+      size_t sent = 0, received = 0;
+      while (received < ids.size()) {
+        while (sent < ids.size() && sent - received < window) {
+          const int q = ids[sent];
+          const size_t mi = static_cast<size_t>(q) % workload.size();
+          request.metric = workload[mi];
+          request.k = static_cast<uint32_t>(q / workload.size()) % distinct_k;
+          in_flight[sent % window] = hcd::Timer();
+          s = client.SendQuery(request);
+          if (!s.ok()) {
+            worker_status[c] = s;
+            return;
+          }
+          ++sent;
+        }
+        s = client.ReadQueryResponse(&response);
+        if (!s.ok() || response.status != hcd::server::ResponseStatus::kOk) {
+          worker_status[c] =
+              s.ok() ? Status::Internal("server refused a query") : s;
+          return;
+        }
+        recorders[c].Record(in_flight[received % window].Seconds());
+        if (response.cache_hit) ++hit_counts[c];
+        ++received;
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  const double wall = timer.Seconds();
+  for (const Status& s : worker_status) {
+    if (!s.ok()) return Fail(s);
+  }
+
+  hcd::bench::LatencyRecorder latencies;
+  uint64_t hits = 0;
+  for (int c = 0; c < connections; ++c) {
+    latencies.Merge(recorders[c]);
+    hits += hit_counts[c];
+  }
+  const uint64_t served = latencies.Count();
+  // Guarded ratios: a degenerate run (zero wall, zero requests) must
+  // report 0, never `inf`/`nan`.
+  const double qps = hcd::FiniteOrZero(static_cast<double>(served) / wall);
+  const double hit_rate =
+      hcd::FiniteOrZero(static_cast<double>(hits) /
+                        static_cast<double>(served));
+
+  if (!args.server_metrics_out.empty()) {
+    hcd::server::QueryClient client;
+    Status s = client.Connect(host, port);
+    std::string text;
+    if (s.ok()) s = client.FetchMetrics(&text);
+    if (!s.ok()) return Fail(s);
+    const int rc = WriteTextFile(args.server_metrics_out, text);
+    if (rc != 0) return rc;
+  }
+
+  hcd::bench::ReportBaseline(
+      "serve_bench", dataset, connections, wall,
+      {{"qps", qps},
+       {"hit_rate", hit_rate},
+       {"queries", static_cast<double>(served)},
+       {"pipeline", static_cast<double>(args.pipeline)},
+       {"p99_us", latencies.P99() * 1e6}});
+
+  if (args.json) {
+    std::string server_extra;
+    if (self_hosted) {
+      const hcd::server::ServerStats stats = server->stats();
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"server\":{\"workers\":%d,\"requests\":%llu,"
+                    "\"cache_hits\":%llu,\"shed\":%llu}",
+                    server->workers(),
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(stats.cache_hits),
+                    static_cast<unsigned long long>(stats.shed));
+      server_extra = buf;
+    }
+    std::printf(
+        "{\"command\":\"serve-bench\",\"connections\":%d,\"pipeline\":%d,"
+        "\"result\":{\"queries\":%llu,\"qps\":%.1f,\"hit_rate\":%.4f,"
+        "\"cache_hits\":%llu,\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,"
+        "\"p99\":%.1f}%s}}\n",
+        connections, args.pipeline,
+        static_cast<unsigned long long>(served), qps, hit_rate,
+        static_cast<unsigned long long>(hits), latencies.P50() * 1e6,
+        latencies.P95() * 1e6, latencies.P99() * 1e6, server_extra.c_str());
+    return 0;
+  }
+  std::printf("served %llu queries over %d connections "
+              "(%zu-metric mix, k<%u, pipeline %d)\n",
+              static_cast<unsigned long long>(served), connections,
+              workload.size(), distinct_k, args.pipeline);
+  std::printf("QPS   %.0f\n", qps);
+  std::printf("p50   %.1f us\n", latencies.P50() * 1e6);
+  std::printf("p95   %.1f us\n", latencies.P95() * 1e6);
+  std::printf("p99   %.1f us\n", latencies.P99() * 1e6);
+  std::printf("cache hit rate %.1f%% (%llu/%llu)\n", hit_rate * 100.0,
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(served));
+  return 0;
+}
+
 int RunCommand(const std::string& cmd, const CliArgs& args) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "convert") return CmdConvert(args);
@@ -950,6 +1367,8 @@ int RunCommand(const std::string& cmd, const CliArgs& args) {
   if (cmd == "bestk") return CmdBestK(args);
   if (cmd == "query-bench") return CmdQueryBench(args);
   if (cmd == "live-bench") return CmdLiveBench(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "serve-bench") return CmdServeBench(args);
   return Usage();
 }
 
@@ -967,17 +1386,23 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   CliArgs args;
   if (!ParseCliArgs(argc, argv, 2, &args)) return Usage();
-  if (cmd != "query-bench" && cmd != "live-bench" &&
+  if (cmd != "query-bench" && cmd != "live-bench" && cmd != "serve-bench" &&
       !args.serve_flag.empty()) {
     std::fprintf(stderr,
-                 "error: flag '%s' is only valid for query-bench or "
-                 "live-bench\n",
+                 "error: flag '%s' is only valid for query-bench, "
+                 "live-bench or serve-bench\n",
                  args.serve_flag.c_str());
     return Usage();
   }
   if (cmd != "live-bench" && !args.live_flag.empty()) {
     std::fprintf(stderr, "error: flag '%s' is only valid for live-bench\n",
                  args.live_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "serve" && cmd != "serve-bench" && !args.server_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: flag '%s' is only valid for serve or serve-bench\n",
+                 args.server_flag.c_str());
     return Usage();
   }
 
@@ -988,7 +1413,12 @@ int main(int argc, char** argv) {
   hcd::Tracer tracer;
   hcd::MetricsRegistry registry;
   if (!args.trace_out.empty()) tracer.Install();
-  if (!args.metrics_out.empty()) registry.Install();
+  // The server commands always get a registry: the in-process /metrics
+  // endpoint (and serve-bench's --server-metrics-out) serve its Prometheus
+  // rendering even when no --metrics-out file was requested.
+  const bool metrics_installed =
+      !args.metrics_out.empty() || cmd == "serve" || cmd == "serve-bench";
+  if (metrics_installed) registry.Install();
 
   int rc;
   const std::string root_name = "cli." + cmd;
@@ -1002,8 +1432,8 @@ int main(int argc, char** argv) {
     const Status s = tracer.WriteChromeJson(args.trace_out);
     if (!s.ok() && rc == 0) rc = Fail(s);
   }
+  if (metrics_installed) registry.Uninstall();
   if (!args.metrics_out.empty()) {
-    registry.Uninstall();
     const std::string text = HasSuffix(args.metrics_out, ".json")
                                  ? registry.RenderJson()
                                  : registry.RenderPrometheus();
