@@ -1,0 +1,121 @@
+// Serve-phase cost of the element hierarchies: freezing a built truss /
+// nucleus forest into the kind-tagged flat index (FreezeTruss /
+// FreezeNucleus) and standing up the eager ElementSearchIndex on top.
+// These are the two steps between "hierarchy constructed" and "queries
+// answered" for the non-core families, the element analogue of
+// table3_freeze. Emits truss_freeze / nucleus_freeze baseline rows.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "nucleus/nucleus_decomposition.h"
+#include "nucleus/nucleus_hierarchy.h"
+#include "nucleus/triangle_index.h"
+#include "search/element_search.h"
+#include "truss/edge_index.h"
+#include "truss/truss_decomposition.h"
+#include "truss/truss_hierarchy.h"
+
+namespace {
+
+// Cheap triangle census (no materialization): decides the nucleus skips
+// the same way bench_nucleus_extension does, since triangles are
+// materialized objects in the indexer.
+uint64_t CountTriangles(const hcd::Graph& g) {
+  uint64_t count = 0;
+  std::vector<uint8_t> mark(g.NumVertices(), 0);
+  for (hcd::VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (hcd::VertexId u : g.Neighbors(v)) mark[u] = 1;
+    for (hcd::VertexId u : g.Neighbors(v)) {
+      if (g.Degree(u) < g.Degree(v) || (g.Degree(u) == g.Degree(v) && u < v)) {
+        for (hcd::VertexId w : g.Neighbors(u)) {
+          if (mark[w] && (g.Degree(w) < g.Degree(u) ||
+                          (g.Degree(w) == g.Degree(u) && w < u))) {
+            ++count;
+          }
+        }
+      }
+    }
+    for (hcd::VertexId u : g.Neighbors(v)) mark[u] = 0;
+  }
+  return count;
+}
+
+constexpr uint64_t kTriangleCap = 8000000;
+constexpr uint64_t kTriangleCapSmall = 300000;
+
+}  // namespace
+
+int main() {
+  hcd::bench::PrintHardwareBanner(
+      "Element freeze: truss / nucleus forest -> flat index -> search");
+  const int pmax = hcd::bench::ThreadSweep().back();
+  std::printf("%-4s | %-7s | %8s | %10s %10s | %8s\n", "ds", "kind",
+              "|elems|", "freeze(s)", "search(s)", "|T|");
+  std::printf("     |         |          |    (p=%d)\n\n", pmax);
+
+  for (auto& ds : hcd::bench::LoadBenchSuite()) {
+    const hcd::Graph& g = ds.graph;
+
+    {
+      hcd::EdgeIndexer eidx = hcd::BuildEdgeIndexer(g);
+      const hcd::TrussDecomposition td = hcd::PeelTrussDecomposition(g, eidx);
+      const hcd::TrussForest forest = hcd::BuildTrussHierarchy(g, eidx, td);
+
+      std::shared_ptr<const hcd::FlatHcdIndex> flat;
+      const double freeze_t = hcd::bench::TimeWithThreads(pmax, [&] {
+        flat = std::make_shared<const hcd::FlatHcdIndex>(
+            hcd::FreezeTruss(g, eidx, forest));
+      }, 2);
+      const double search_t = hcd::bench::TimeWithThreads(
+          pmax, [&] { hcd::ElementSearchIndex index(flat); }, 2);
+
+      hcd::bench::ReportBaseline(
+          "truss_freeze", ds.name, pmax, freeze_t,
+          {{"search_seconds", search_t},
+           {"nodes", static_cast<double>(flat->NumNodes())},
+           {"elements", static_cast<double>(flat->NumElements())}});
+      std::printf("%-4s | truss   | %8u | %10.3f %10.3f | %8u\n",
+                  ds.name.c_str(), flat->NumElements(), freeze_t, search_t,
+                  flat->NumNodes());
+    }
+
+    const uint64_t cap =
+        hcd::bench::SmallBenchRequested() ? kTriangleCapSmall : kTriangleCap;
+    const uint64_t tris = CountTriangles(g);
+    if (tris > cap) {
+      std::printf("%-4s | nucleus | (skipped: %llu triangles above cap)\n",
+                  ds.name.c_str(), static_cast<unsigned long long>(tris));
+      continue;
+    }
+    {
+      hcd::EdgeIndexer eidx = hcd::BuildEdgeIndexer(g);
+      hcd::TriangleIndexer tidx = hcd::BuildTriangleIndexer(g, eidx);
+      const hcd::NucleusDecomposition nd =
+          hcd::PeelNucleusDecomposition(g, eidx, tidx);
+      const hcd::NucleusForest forest =
+          hcd::BuildNucleusHierarchy(g, eidx, tidx, nd);
+
+      std::shared_ptr<const hcd::FlatHcdIndex> flat;
+      const double freeze_t = hcd::bench::TimeWithThreads(pmax, [&] {
+        flat = std::make_shared<const hcd::FlatHcdIndex>(
+            hcd::FreezeNucleus(g, tidx, forest));
+      }, 2);
+      const double search_t = hcd::bench::TimeWithThreads(
+          pmax, [&] { hcd::ElementSearchIndex index(flat); }, 2);
+
+      hcd::bench::ReportBaseline(
+          "nucleus_freeze", ds.name, pmax, freeze_t,
+          {{"search_seconds", search_t},
+           {"nodes", static_cast<double>(flat->NumNodes())},
+           {"elements", static_cast<double>(flat->NumElements())}});
+      std::printf("%-4s | nucleus | %8u | %10.3f %10.3f | %8u\n",
+                  ds.name.c_str(), flat->NumElements(), freeze_t, search_t,
+                  flat->NumNodes());
+    }
+  }
+  return 0;
+}

@@ -42,6 +42,19 @@ if [ -x "$CLI" ]; then
       --queries=40000 --pipeline=32 2>/dev/null | tee -a "$OUT"
     echo | tee -a "$OUT"
   done
+
+  # Element-hierarchy serving rows: the same cached graphs through the
+  # truss regime of query-bench (build + freeze + ElementSearchIndex +
+  # concurrent DensestAtLeast/CommunityOf workload). Emits
+  # truss_query_bench_cli rows next to the core serving baselines.
+  for g in bench_data/*.bin; do
+    [ -f "$g" ] || continue
+    echo "===== query-bench --hierarchy=truss $(basename "$g") =====" \
+      | tee -a "$OUT"
+    "$CLI" query-bench "$g" --hierarchy=truss --query-threads=8 \
+      --queries=20000 2>/dev/null | tee -a "$OUT"
+    echo | tee -a "$OUT"
+  done
 fi
 echo "wrote $OUT"
 

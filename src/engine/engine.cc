@@ -2,12 +2,15 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "graph/ingest.h"
 #include "hcd/lcps.h"
 #include "hcd/naive_hcd.h"
 #include "hcd/phcd.h"
+#include "nucleus/nucleus_hierarchy.h"
 #include "parallel/omp_utils.h"
+#include "truss/truss_hierarchy.h"
 
 namespace hcd {
 namespace {
@@ -106,8 +109,82 @@ const VertexRank& HcdEngine::Rank() {
   return *rank_;
 }
 
+const EdgeIndexer& HcdEngine::Edges() {
+  if (!eidx_) {
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "truss.index");
+    eidx_ = BuildEdgeIndexer(*graph_);
+    stage.AddCounter("edges", eidx_->NumEdges());
+  }
+  return *eidx_;
+}
+
+const TriangleIndexer& HcdEngine::Triangles() {
+  if (!tidx_) {
+    const EdgeIndexer& eidx = Edges();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "nucleus.index");
+    tidx_ = BuildTriangleIndexer(*graph_, eidx);
+    stage.AddCounter("triangles", tidx_->NumTriangles());
+  }
+  return *tidx_;
+}
+
+const TrussDecomposition& HcdEngine::Trussness() {
+  if (!td_) {
+    const EdgeIndexer& eidx = Edges();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "truss.decomposition");
+    td_ = PeelTrussDecomposition(*graph_, eidx);
+    stage.AddCounter("k_max", td_->k_max);
+  }
+  return *td_;
+}
+
+const NucleusDecomposition& HcdEngine::NucleusTheta() {
+  if (!nd_) {
+    const EdgeIndexer& eidx = Edges();
+    const TriangleIndexer& tidx = Triangles();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "nucleus.decomposition");
+    nd_ = PeelNucleusDecomposition(*graph_, eidx, tidx);
+    stage.AddCounter("k_max", nd_->k_max);
+  }
+  return *nd_;
+}
+
 const HcdForest& HcdEngine::Forest() {
-  if (!forest_) {
+  if (forest_) return *forest_;
+  if (options_.hierarchy == HierarchyKind::kTruss) {
+    const EdgeIndexer& eidx = Edges();
+    const TrussDecomposition& td = Trussness();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "truss.construction");
+    forest_ = options_.algo == EngineAlgo::kNaive
+                  ? NaiveTrussHierarchy(*graph_, eidx, td)
+                  : BuildTrussHierarchy(*graph_, eidx, td);
+    stage.AddCounter("nodes", forest_->NumNodes());
+    return *forest_;
+  }
+  if (options_.hierarchy == HierarchyKind::kNucleus) {
+    const EdgeIndexer& eidx = Edges();
+    const TriangleIndexer& tidx = Triangles();
+    const NucleusDecomposition& nd = NucleusTheta();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    ScopedStage stage(sink(), "nucleus.construction");
+    forest_ = options_.algo == EngineAlgo::kNaive
+                  ? NaiveNucleusHierarchy(*graph_, eidx, tidx, nd)
+                  : BuildNucleusHierarchy(*graph_, eidx, tidx, nd);
+    stage.AddCounter("nodes", forest_->NumNodes());
+    return *forest_;
+  }
+  {
     const CoreDecomposition& cd = Coreness();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
@@ -135,15 +212,49 @@ const FlatHcdIndex& HcdEngine::Flat() {
     const HcdForest& forest = Forest();
     std::optional<ThreadCountGuard> guard;
     if (options_.threads > 0) guard.emplace(options_.threads);
-    ScopedStage stage(sink(), "construction.freeze");
-    flat_ = std::make_shared<const FlatHcdIndex>(Freeze(forest));
-    stage.AddCounter("nodes", flat_->NumNodes());
+    switch (options_.hierarchy) {
+      case HierarchyKind::kCore: {
+        ScopedStage stage(sink(), "construction.freeze");
+        flat_ = std::make_shared<const FlatHcdIndex>(Freeze(forest));
+        stage.AddCounter("nodes", flat_->NumNodes());
+        break;
+      }
+      case HierarchyKind::kTruss: {
+        ScopedStage stage(sink(), "truss.construction.freeze");
+        flat_ = std::make_shared<const FlatHcdIndex>(
+            FreezeTruss(*graph_, *eidx_, forest));
+        stage.AddCounter("nodes", flat_->NumNodes());
+        break;
+      }
+      case HierarchyKind::kNucleus: {
+        ScopedStage stage(sink(), "nucleus.construction.freeze");
+        flat_ = std::make_shared<const FlatHcdIndex>(
+            FreezeNucleus(*graph_, *tidx_, forest));
+        stage.AddCounter("nodes", flat_->NumNodes());
+        break;
+      }
+    }
   }
   return *flat_;
 }
 
+const ElementSearchIndex& HcdEngine::ElementSearcher() {
+  if (!element_searcher_) {
+    HCD_CHECK(options_.hierarchy != HierarchyKind::kCore)
+        << "ElementSearcher serves element hierarchies; use Searcher()";
+    Flat();
+    std::optional<ThreadCountGuard> guard;
+    if (options_.threads > 0) guard.emplace(options_.threads);
+    element_searcher_.emplace(flat_, sink());
+  }
+  return *element_searcher_;
+}
+
 const SnapshotState& HcdEngine::SealedState() {
   if (state_ == nullptr) {
+    HCD_CHECK(options_.hierarchy == HierarchyKind::kCore)
+        << "snapshot sealing scores core hierarchies; element hierarchies "
+           "serve through ElementSearcher()";
     Coreness();
     Flat();
     std::optional<ThreadCountGuard> guard;

@@ -13,10 +13,16 @@
 #include "graph/graph.h"
 #include "hcd/flat_index.h"
 #include "hcd/forest.h"
+#include "hcd/hierarchy_kind.h"
 #include "hcd/vertex_rank.h"
+#include "nucleus/nucleus_decomposition.h"
+#include "nucleus/triangle_index.h"
+#include "search/element_search.h"
 #include "search/metrics.h"
 #include "search/pbks.h"
 #include "search/search_index.h"
+#include "truss/edge_index.h"
+#include "truss/truss_decomposition.h"
 
 namespace hcd {
 
@@ -38,6 +44,13 @@ bool ParseEngineAlgo(std::string_view name, EngineAlgo* algo);
 /// benchmarks).
 struct EngineOptions {
   EngineAlgo algo = EngineAlgo::kPhcd;
+  /// Which decomposition family the hierarchy stages build: k-core
+  /// (vertices), k-truss (edges) or (3,4)-nucleus (triangles). The
+  /// construction stages dispatch on this; the frozen index is kind-tagged
+  /// and every downstream flat-index consumer works unchanged. Non-core
+  /// kinds record kind-prefixed stage names ("truss.decomposition",
+  /// "truss.construction", "truss.construction.freeze", ...).
+  HierarchyKind hierarchy = HierarchyKind::kCore;
   /// OpenMP threads for every engine-run stage; 0 keeps the ambient
   /// setting. Applied per stage via ThreadCountGuard, so the global OpenMP
   /// state is never leaked.
@@ -110,14 +123,41 @@ class HcdEngine {
   /// Vertex rank over Coreness() (stage "rank"). Computed on first call.
   const VertexRank& Rank();
 
-  /// HCD forest built by options().algo (stage "construction"). Computed
-  /// on first call. Builder-facing; query-side consumers should use Flat().
+  /// Hierarchy forest of options().hierarchy built by options().algo
+  /// (stage "construction" / "truss.construction" /
+  /// "nucleus.construction"; for non-core kinds, kNaive selects the
+  /// definition-driven oracle builder and anything else the parallel PHCD
+  /// lift). Computed on first call. Builder-facing; query-side consumers
+  /// should use Flat().
   const HcdForest& Forest();
 
-  /// Immutable flat index frozen from Forest() (stage
-  /// "construction.freeze"). Computed on first call; this is the
-  /// representation every query path (search, stats, export) serves from.
+  /// Immutable kind-tagged flat index frozen from Forest() (stage
+  /// "construction.freeze", kind-prefixed for non-core kinds). Computed on
+  /// first call; this is the representation every query path (search,
+  /// stats, export) serves from.
   const FlatHcdIndex& Flat();
+
+  /// Edge indexer of the graph (stage "truss.index"); the element
+  /// substrate of truss and nucleus hierarchies. Computed on first call.
+  const EdgeIndexer& Edges();
+
+  /// Triangle indexer over Edges() (stage "nucleus.index"). Computed on
+  /// first call.
+  const TriangleIndexer& Triangles();
+
+  /// Truss decomposition by support peeling (stage "truss.decomposition").
+  /// Computed on first call.
+  const TrussDecomposition& Trussness();
+
+  /// (3,4)-nucleus decomposition (stage "nucleus.decomposition"). Computed
+  /// on first call.
+  const NucleusDecomposition& NucleusTheta();
+
+  /// Memoized eager element-community search index over Flat(); requires a
+  /// non-core hierarchy (stage "search.element"). The returned object is
+  /// deeply const and serves concurrent readers, the element analogue of
+  /// Searcher().
+  const ElementSearchIndex& ElementSearcher();
 
   /// Memoized eager search index over Coreness() and Flat(); constructing
   /// it runs the PBKS preprocessing and both primary-value passes (stages
@@ -161,6 +201,12 @@ class HcdEngine {
   std::shared_ptr<const FlatHcdIndex> flat_;
   std::shared_ptr<const SnapshotState> state_;
   SearchWorkspace workspace_;
+  // Element-hierarchy stage caches (truss / nucleus only).
+  std::optional<EdgeIndexer> eidx_;
+  std::optional<TriangleIndexer> tidx_;
+  std::optional<TrussDecomposition> td_;
+  std::optional<NucleusDecomposition> nd_;
+  std::optional<ElementSearchIndex> element_searcher_;
 };
 
 }  // namespace hcd

@@ -46,6 +46,40 @@ Status FlatHcdIndex::Adopt(Data d, FlatHcdIndex* out) {
   const size_t num_nodes = d.levels.size();
   if (num_nodes >= kInvalidNode) return corrupt("too many nodes");
   if (d.num_vertices >= kInvalidVertex) return corrupt("too many vertices");
+
+  // Element domain: the kind tag must be known, the member array must be
+  // exactly arity-strided over every element id, and each element's members
+  // must be in-range, canonically ascending graph vertices. kCore carries
+  // no member array (an element IS its vertex), so the graph vertex count
+  // must coincide with the element count.
+  if (!IsValidHierarchyKind(static_cast<uint32_t>(d.kind))) {
+    return corrupt("unknown hierarchy kind");
+  }
+  if (d.num_graph_vertices >= kInvalidVertex) {
+    return corrupt("too many graph vertices");
+  }
+  if (d.kind == HierarchyKind::kCore) {
+    if (!d.element_members.empty()) {
+      return corrupt("core index carries element members");
+    }
+    if (d.num_graph_vertices != d.num_vertices) {
+      return corrupt("core index graph vertex count mismatch");
+    }
+  } else {
+    const uint32_t arity = ElementArity(d.kind);
+    if (d.element_members.size() !=
+        static_cast<uint64_t>(arity) * d.num_vertices) {
+      return corrupt("element member count does not match arity");
+    }
+    for (size_t i = 0; i < d.element_members.size(); ++i) {
+      if (d.element_members[i] >= d.num_graph_vertices) {
+        return corrupt("element member vertex out of range");
+      }
+      if (i % arity != 0 && d.element_members[i - 1] >= d.element_members[i]) {
+        return corrupt("element members not strictly ascending");
+      }
+    }
+  }
   if (d.parents.size() != num_nodes || d.subtree_nodes.size() != num_nodes ||
       d.desc_level_order.size() != num_nodes ||
       d.child_offsets.size() != num_nodes + 1 ||
@@ -221,6 +255,7 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
   FlatHcdIndex out;
   FlatHcdIndex::Data& d = out.data_;
   d.num_vertices = n;
+  d.num_graph_vertices = n;  // kCore: elements are the graph vertices
   d.tid.assign(n, kInvalidNode);
   if (num_nodes == 0) return out;
 
@@ -389,6 +424,28 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
 FlatHcdIndex Freeze(HcdForest&& forest) {
   FlatHcdIndex out = Freeze(static_cast<const HcdForest&>(forest));
   forest = HcdForest();  // release the builder arrays eagerly
+  return out;
+}
+
+FlatHcdIndex Freeze(const HcdForest& forest, HierarchyKind kind,
+                    std::span<const VertexId> element_members,
+                    VertexId num_graph_vertices) {
+  ScopedSpan span("freeze.kind");
+  span.AddArg("kind", std::string(HierarchyKindName(kind)));
+  FlatHcdIndex out = Freeze(forest);
+  FlatHcdIndex::Data& d = out.data_;
+  if (kind == HierarchyKind::kCore) {
+    HCD_CHECK(element_members.empty())
+        << "core freeze takes no element members";
+    HCD_CHECK_EQ(num_graph_vertices, d.num_vertices);
+    return out;
+  }
+  HCD_CHECK_EQ(element_members.size(),
+               static_cast<uint64_t>(ElementArity(kind)) * d.num_vertices)
+      << "element member array must be arity-strided over every element id";
+  d.kind = kind;
+  d.num_graph_vertices = num_graph_vertices;
+  d.element_members.assign(element_members.begin(), element_members.end());
   return out;
 }
 

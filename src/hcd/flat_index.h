@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/types.h"
 #include "hcd/forest.h"
+#include "hcd/hierarchy_kind.h"
 
 namespace hcd {
 
@@ -35,16 +36,37 @@ namespace hcd {
 /// groups (nodes of equal level are mutually independent, so each group is a
 /// parallel step).
 ///
-/// The v2 snapshot format ("HCDFOR02", hcd/serialize.h) is exactly the
-/// `Data` struct below written section by section, so loading is a handful
-/// of bulk reads followed by `Adopt` validation.
+/// The snapshot formats (hcd/serialize.h) are exactly the `Data` struct
+/// below written section by section — v2 ("HCDFOR02") for core indexes,
+/// the kind-tagged v3 ("HCDFOR03") for truss/nucleus — so loading is a
+/// handful of bulk reads followed by `Adopt` validation.
+///
+/// One index class serves all three decomposition families: for truss and
+/// nucleus hierarchies the "vertices" here are element ids (edges /
+/// triangles) and `ElementMembers` materializes an element back to its
+/// graph vertices; every structural accessor (subtree spans, level groups,
+/// Tid, CoreVertices) is domain-agnostic and works unchanged.
 class FlatHcdIndex {
  public:
   /// The packed arrays. N = node count, R = root count, G = number of
-  /// distinct levels, P = number of placed vertices (== sum of per-node
-  /// vertex counts), n = number of graph vertices.
+  /// distinct levels, P = number of placed elements (== sum of per-node
+  /// element counts), n = number of elements in the decomposed domain.
+  ///
+  /// For the core hierarchy the elements ARE graph vertices (n = the graph's
+  /// vertex count and `element_members` stays empty). For truss / nucleus
+  /// hierarchies the "vertices" of this index are element ids (edges /
+  /// triangles) and `element_members` materializes each element back to its
+  /// member graph vertices with stride ElementArity(kind).
   struct Data {
-    VertexId num_vertices = 0;               // n
+    HierarchyKind kind = HierarchyKind::kCore;
+    VertexId num_vertices = 0;               // n (elements)
+    /// Graph vertex count: the id domain of element_members. Equals
+    /// num_vertices for kCore (enforced by Adopt).
+    VertexId num_graph_vertices = 0;
+    /// [ElementArity(kind) * n] member vertices per element id, in canonical
+    /// order (edge endpoints ascending, triangle corners ascending). Empty
+    /// for kCore.
+    std::vector<VertexId> element_members;
     std::vector<uint32_t> levels;            // [N] core level per node
     std::vector<TreeNodeId> parents;         // [N] preorder parent; roots map
                                              //     to kInvalidNode
@@ -79,6 +101,26 @@ class FlatHcdIndex {
     return static_cast<TreeNodeId>(data_.levels.size());
   }
   VertexId NumVertices() const { return data_.num_vertices; }
+
+  // --- element domain ------------------------------------------------------
+
+  HierarchyKind kind() const { return data_.kind; }
+  /// Member vertices per element (1 core / 2 truss / 3 nucleus).
+  uint32_t arity() const { return ElementArity(data_.kind); }
+  /// Number of elements in the decomposed domain (alias of NumVertices:
+  /// the index's "vertices" are element ids).
+  VertexId NumElements() const { return data_.num_vertices; }
+  /// Graph vertex count — the id domain element members come from. Equals
+  /// NumVertices() for kCore.
+  VertexId NumGraphVertices() const { return data_.num_graph_vertices; }
+
+  /// Member graph vertices of `element`, canonical ascending order.
+  /// Valid only for kind() != kCore (a core element IS its vertex).
+  std::span<const VertexId> ElementMembers(VertexId element) const {
+    const uint32_t a = arity();
+    return std::span<const VertexId>(data_.element_members)
+        .subspan(static_cast<size_t>(element) * a, a);
+  }
 
   uint32_t Level(TreeNodeId node) const { return data_.levels[node]; }
   TreeNodeId Parent(TreeNodeId node) const { return data_.parents[node]; }
@@ -149,6 +191,9 @@ class FlatHcdIndex {
 
  private:
   friend FlatHcdIndex Freeze(const HcdForest& forest);
+  friend FlatHcdIndex Freeze(const HcdForest& forest, HierarchyKind kind,
+                             std::span<const VertexId> element_members,
+                             VertexId num_graph_vertices);
 
   Data data_;
 };
@@ -163,6 +208,18 @@ FlatHcdIndex Freeze(const HcdForest& forest);
 
 /// Freeze and release the builder representation's memory.
 FlatHcdIndex Freeze(HcdForest&& forest);
+
+/// Kind-tagged freeze: same preorder packing, with the forest's element
+/// domain recorded and each element's member vertices carried alongside
+/// (`element_members` is arity-strided by element id, covering ALL element
+/// ids 0..forest.NumVertices(), placed or not — for a truss forest this is
+/// exactly EdgeIndexer::edges flattened). `num_graph_vertices` is the graph
+/// vertex count the member ids live in. The per-kind wrappers FreezeTruss
+/// (src/truss) and FreezeNucleus (src/nucleus) build the member array from
+/// their indexers; call those instead of this directly.
+FlatHcdIndex Freeze(const HcdForest& forest, HierarchyKind kind,
+                    std::span<const VertexId> element_members,
+                    VertexId num_graph_vertices);
 
 }  // namespace hcd
 

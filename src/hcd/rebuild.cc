@@ -83,7 +83,12 @@ Status ApplyRebuild(const RebuildPlan& plan, const FlatHcdIndex& old_index,
   const FlatHcdIndex::Data& old_data = old_index.data();
   const FlatHcdIndex::Data& sub_data = subflat.data();
   FlatHcdIndex::Data data;
+  // Splicing rearranges trees, not elements: the element domain (kind,
+  // member materialization) carries over from the old generation verbatim.
+  data.kind = old_data.kind;
   data.num_vertices = old_data.num_vertices;
+  data.num_graph_vertices = old_data.num_graph_vertices;
+  data.element_members = old_data.element_members;
   data.child_offsets.assign(1, 0);
   data.vertex_offsets.assign(1, 0);
 

@@ -11,11 +11,17 @@ namespace {
 
 constexpr uint64_t kForestMagicV1 = 0x484344464f523031ULL;  // "HCDFOR01"
 constexpr uint64_t kForestMagicV2 = 0x484344464f523032ULL;  // "HCDFOR02"
+constexpr uint64_t kForestMagicV3 = 0x484344464f523033ULL;  // "HCDFOR03"
 
 // v2 header: kForestMagicV2, num_vertices, num_nodes, num_roots,
 // num_children, num_placed, num_level_groups, reserved (0).
 constexpr size_t kV2HeaderWords = 8;
 constexpr size_t kV2HeaderBytes = kV2HeaderWords * sizeof(uint64_t);
+// v3 header: kForestMagicV3, kind, num_graph_vertices, num_vertices
+// (elements), num_nodes, num_roots, num_children, num_placed,
+// num_level_groups, num_element_members, reserved, reserved (0).
+constexpr size_t kV3HeaderWords = 12;
+constexpr size_t kV3HeaderBytes = kV3HeaderWords * sizeof(uint64_t);
 // Sections are padded to 8 bytes so each starts at an aligned offset.
 constexpr uint64_t kSectionAlign = 8;
 
@@ -192,6 +198,7 @@ Status LoadFlatV2Body(std::FILE* f, uint64_t file_size,
 
   FlatHcdIndex::Data d;
   d.num_vertices = static_cast<VertexId>(n);
+  d.num_graph_vertices = static_cast<VertexId>(n);  // v2 is always kCore
   bool ok = ReadSection(f, num_nodes, &d.levels) &&
             ReadSection(f, num_nodes, &d.parents) &&
             ReadSection(f, num_nodes, &d.subtree_nodes) &&
@@ -203,6 +210,78 @@ Status LoadFlatV2Body(std::FILE* f, uint64_t file_size,
             ReadSection(f, num_nodes, &d.desc_level_order) &&
             ReadSection(f, num_level_groups + 1, &d.level_group_offsets) &&
             ReadSection(f, num_roots, &d.roots);
+  if (!ok) return Status::Corruption(path + ": truncated sections");
+
+  Status s = FlatHcdIndex::Adopt(std::move(d), index);
+  if (!s.ok()) return Status(s.code(), path + ": " + s.message());
+  return Status::Ok();
+}
+
+Status LoadFlatV3Body(std::FILE* f, uint64_t file_size,
+                      const std::string& path, FlatHcdIndex* index) {
+  uint64_t header[kV3HeaderWords - 1];  // magic already consumed
+  if (std::fread(header, sizeof(uint64_t), std::size(header), f) !=
+      std::size(header)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  const uint64_t kind_raw = header[0];
+  const uint64_t ng = header[1];
+  const uint64_t n = header[2];
+  const uint64_t num_nodes = header[3];
+  const uint64_t num_roots = header[4];
+  const uint64_t num_children = header[5];
+  const uint64_t num_placed = header[6];
+  const uint64_t num_level_groups = header[7];
+  const uint64_t num_members = header[8];
+  const uint64_t reserved = header[9] | header[10];
+  // A v3 file tagged kCore is rejected as non-canonical: the writer emits
+  // v2 for core indexes, so accepting both would break byte-identical
+  // round-trips.
+  if (kind_raw > static_cast<uint64_t>(HierarchyKind::kNucleus) ||
+      kind_raw == static_cast<uint64_t>(HierarchyKind::kCore)) {
+    return Status::Corruption(path + ": bad hierarchy kind tag");
+  }
+  const HierarchyKind kind = static_cast<HierarchyKind>(kind_raw);
+  if (n >= kInvalidVertex || ng >= kInvalidVertex ||
+      num_nodes >= kInvalidNode || num_roots > num_nodes ||
+      num_children != num_nodes - num_roots || num_placed > n ||
+      num_level_groups > num_nodes || reserved != 0 ||
+      num_members != ElementArity(kind) * n ||
+      (num_nodes > 0 && (num_roots == 0 || num_level_groups == 0))) {
+    return Status::Corruption(path + ": implausible header counts");
+  }
+
+  // The header fixes every section size; the whole file size must match
+  // exactly before anything is allocated.
+  const uint64_t expected_size =
+      kV3HeaderBytes +
+      4 * PaddedSectionBytes(num_nodes) +      // levels, parents,
+                                               // subtree_nodes,
+                                               // desc_level_order
+      2 * PaddedSectionBytes(num_nodes + 1) +  // child/vertex offsets
+      PaddedSectionBytes(num_children) + PaddedSectionBytes(num_placed) +
+      PaddedSectionBytes(n) + PaddedSectionBytes(num_level_groups + 1) +
+      PaddedSectionBytes(num_roots) + PaddedSectionBytes(num_members);
+  if (expected_size != file_size) {
+    return Status::Corruption(path + ": section sizes do not match file size");
+  }
+
+  FlatHcdIndex::Data d;
+  d.kind = kind;
+  d.num_vertices = static_cast<VertexId>(n);
+  d.num_graph_vertices = static_cast<VertexId>(ng);
+  bool ok = ReadSection(f, num_nodes, &d.levels) &&
+            ReadSection(f, num_nodes, &d.parents) &&
+            ReadSection(f, num_nodes, &d.subtree_nodes) &&
+            ReadSection(f, num_nodes + 1, &d.child_offsets) &&
+            ReadSection(f, num_children, &d.children) &&
+            ReadSection(f, num_nodes + 1, &d.vertex_offsets) &&
+            ReadSection(f, num_placed, &d.vertices) &&
+            ReadSection(f, n, &d.tid) &&
+            ReadSection(f, num_nodes, &d.desc_level_order) &&
+            ReadSection(f, num_level_groups + 1, &d.level_group_offsets) &&
+            ReadSection(f, num_roots, &d.roots) &&
+            ReadSection(f, num_members, &d.element_members);
   if (!ok) return Status::Corruption(path + ": truncated sections");
 
   Status s = FlatHcdIndex::Adopt(std::move(d), index);
@@ -247,9 +326,9 @@ Status LoadForest(const std::string& path, HcdForest* forest) {
   if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) {
     return Status::Corruption(path + ": truncated header");
   }
-  if (magic == kForestMagicV2) {
+  if (magic == kForestMagicV2 || magic == kForestMagicV3) {
     return Status::InvalidArgument(
-        path + ": v2 flat snapshot; load with LoadFlatIndex");
+        path + ": flat snapshot; load with LoadFlatIndex");
   }
   if (magic != kForestMagicV1) return Status::Corruption(path + ": bad magic");
   return LoadForestV1Body(f.get(), file_size, path, forest);
@@ -260,18 +339,39 @@ Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path) {
   if (f == nullptr) return Status::IoError("cannot open " + path);
 
   const FlatHcdIndex::Data& d = index.data();
-  const uint64_t header[kV2HeaderWords] = {
-      kForestMagicV2,
-      d.num_vertices,
-      d.levels.size(),
-      d.roots.size(),
-      d.children.size(),
-      d.vertices.size(),
-      index.NumLevelGroups(),
-      0,  // reserved
-  };
-  bool ok = std::fwrite(header, sizeof(uint64_t), kV2HeaderWords, f.get()) ==
-            kV2HeaderWords;
+  bool ok;
+  if (d.kind == HierarchyKind::kCore) {
+    // Core snapshots stay v2, bit-identical to the pre-kind format.
+    const uint64_t header[kV2HeaderWords] = {
+        kForestMagicV2,
+        d.num_vertices,
+        d.levels.size(),
+        d.roots.size(),
+        d.children.size(),
+        d.vertices.size(),
+        index.NumLevelGroups(),
+        0,  // reserved
+    };
+    ok = std::fwrite(header, sizeof(uint64_t), kV2HeaderWords, f.get()) ==
+         kV2HeaderWords;
+  } else {
+    const uint64_t header[kV3HeaderWords] = {
+        kForestMagicV3,
+        static_cast<uint64_t>(d.kind),
+        d.num_graph_vertices,
+        d.num_vertices,
+        d.levels.size(),
+        d.roots.size(),
+        d.children.size(),
+        d.vertices.size(),
+        index.NumLevelGroups(),
+        d.element_members.size(),
+        0,  // reserved
+        0,  // reserved
+    };
+    ok = std::fwrite(header, sizeof(uint64_t), kV3HeaderWords, f.get()) ==
+         kV3HeaderWords;
+  }
   ok = ok && WriteSection(f.get(), d.levels) &&
        WriteSection(f.get(), d.parents) &&
        WriteSection(f.get(), d.subtree_nodes) &&
@@ -282,6 +382,9 @@ Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path) {
        WriteSection(f.get(), d.desc_level_order) &&
        WriteSection(f.get(), d.level_group_offsets) &&
        WriteSection(f.get(), d.roots);
+  if (d.kind != HierarchyKind::kCore) {
+    ok = ok && WriteSection(f.get(), d.element_members);
+  }
   if (!ok) return Status::IoError("short write to " + path);
   return Status::Ok();
 }
@@ -297,6 +400,9 @@ Status LoadFlatIndex(const std::string& path, FlatHcdIndex* index) {
   }
   if (magic == kForestMagicV2) {
     return LoadFlatV2Body(f.get(), file_size, path, index);
+  }
+  if (magic == kForestMagicV3) {
+    return LoadFlatV3Body(f.get(), file_size, path, index);
   }
   if (magic == kForestMagicV1) {
     HcdForest forest;

@@ -20,8 +20,18 @@ namespace hcd {
 /// verbatim, each section padded to 8-byte alignment. Loading is a handful
 /// of bulk reads (mmap-friendly: every section sits at a computable aligned
 /// offset) funneled through FlatHcdIndex::Adopt, which validates all
-/// structural invariants, so corrupt files of either version yield
-/// Status::Corruption — never an abort.
+/// structural invariants, so corrupt files of any version yield
+/// Status::Corruption — never an abort. v2 carries no kind tag and always
+/// loads as HierarchyKind::kCore.
+///
+/// v3 ("HCDFOR03"): the kind-tagged flat layout for non-core hierarchies
+/// (truss / nucleus). A fixed 96-byte header — magic, kind, graph vertex
+/// count, then the v2 section counts plus the element-member count — and
+/// the v2 sections followed by one trailing element_members section
+/// (arity * element count vertices, the element -> member-vertex
+/// materialization). Core indexes keep writing v2, byte-identical to
+/// before, so existing snapshots and their hashes are untouched; a v3
+/// file tagged kCore is rejected as non-canonical.
 
 /// Writes a v1 builder-shaped snapshot of the forest (levels, parents and
 /// vertex memberships; children are rebuilt on load).
@@ -31,13 +41,14 @@ Status SaveForest(const HcdForest& forest, const std::string& path);
 /// (use LoadFlatIndex) and corrupt v1 files with a non-ok Status.
 Status LoadForest(const std::string& path, HcdForest* forest);
 
-/// Writes a v2 flat snapshot. Byte-for-byte deterministic: saving a loaded
-/// index reproduces the input file exactly.
+/// Writes a flat snapshot: v2 for a core index (byte-identical to the
+/// pre-kind format), v3 for truss / nucleus. Byte-for-byte deterministic:
+/// saving a loaded index reproduces the input file exactly.
 Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path);
 
-/// Loads a snapshot of either version into a flat index: v2 files are read
-/// section-by-section as whole arrays; v1 files are loaded as a forest and
-/// converted via Freeze (the migration path).
+/// Loads a snapshot of any version into a flat index: v2/v3 files are read
+/// section-by-section as whole arrays (v2 adopts as kCore); v1 files are
+/// loaded as a forest and converted via Freeze (the migration path).
 Status LoadFlatIndex(const std::string& path, FlatHcdIndex* index);
 
 }  // namespace hcd

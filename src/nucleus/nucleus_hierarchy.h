@@ -1,6 +1,9 @@
 #ifndef HCD_NUCLEUS_NUCLEUS_HIERARCHY_H_
 #define HCD_NUCLEUS_NUCLEUS_HIERARCHY_H_
 
+#include <vector>
+
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 #include "nucleus/nucleus_decomposition.h"
 #include "nucleus/triangle_index.h"
@@ -31,6 +34,38 @@ NucleusForest NaiveNucleusHierarchy(const Graph& graph,
                                     const EdgeIndexer& eidx,
                                     const TriangleIndexer& tidx,
                                     const NucleusDecomposition& nd);
+
+// --- frozen (serve-phase) forms --------------------------------------------
+
+/// Kind-tagged freeze of a nucleus forest: HierarchyKind::kNucleus with
+/// the triangle -> corner materialization (TriangleIndexer::triangles
+/// flattened, corners ascending). Serves every flat-index query and
+/// snapshots as the v3 format.
+FlatHcdIndex FreezeNucleus(const Graph& graph, const TriangleIndexer& tidx,
+                           const NucleusForest& forest);
+
+/// A nucleus community as a vertex set: the distinct corners of the
+/// subtree's triangles, plus the triangle count. Density is the triangle
+/// analogue of average degree (triangle-slots per distinct vertex).
+struct NucleusCommunity {
+  std::vector<VertexId> vertices;
+  uint64_t num_triangles = 0;
+  double Density() const {
+    return vertices.empty() ? 0.0
+                            : 3.0 * static_cast<double>(num_triangles) /
+                                  static_cast<double>(vertices.size());
+  }
+};
+
+/// Builder-forest community-of (DFS + allocation per call); test oracle
+/// for the frozen overload.
+NucleusCommunity NucleusCommunityOf(const TriangleIndexer& tidx,
+                                    const NucleusForest& forest,
+                                    TreeNodeId node);
+
+/// Frozen-index community-of: O(answer) from the subtree's triangle span
+/// and the embedded corner materialization.
+NucleusCommunity NucleusCommunityOf(const FlatHcdIndex& flat, TreeNodeId node);
 
 }  // namespace hcd
 

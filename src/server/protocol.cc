@@ -84,9 +84,10 @@ double DoubleFromBits(uint64_t bits) {
 
 std::string EncodeQueryRequest(const QueryRequest& request) {
   std::string out;
-  out.reserve(14 + 4 * request.vertices.size());
+  out.reserve(15 + 4 * request.vertices.size());
   AppendU8(&out, static_cast<uint8_t>(MessageType::kQuery));
   AppendU8(&out, static_cast<uint8_t>(request.metric));
+  AppendU8(&out, static_cast<uint8_t>(request.hierarchy));
   AppendU32(&out, request.k);
   AppendU32(&out, request.max_return_vertices);
   AppendU32(&out, static_cast<uint32_t>(request.vertices.size()));
@@ -145,10 +146,12 @@ bool DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
   Reader reader(payload);
   uint8_t type = 0;
   uint8_t metric = 0;
+  uint8_t hierarchy = 0;
   uint32_t num_vertices = 0;
   if (!reader.ReadU8(&type) ||
       type != static_cast<uint8_t>(MessageType::kQuery) ||
       !reader.ReadU8(&metric) || metric >= kMetricCount ||
+      !reader.ReadU8(&hierarchy) || !IsValidHierarchyKind(hierarchy) ||
       !reader.ReadU32(&out->k) || !reader.ReadU32(&out->max_return_vertices) ||
       !reader.ReadU32(&num_vertices)) {
     return false;
@@ -157,6 +160,7 @@ bool DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
   // most kMaxPayloadBytes/4 — but it must match the bytes actually sent.
   if (reader.Rest().size() != size_t{num_vertices} * 4) return false;
   out->metric = kAllMetrics[metric];
+  out->hierarchy = static_cast<HierarchyKind>(hierarchy);
   out->vertices.resize(num_vertices);
   for (uint32_t i = 0; i < num_vertices; ++i) {
     if (!reader.ReadU32(&out->vertices[i])) return false;
@@ -217,8 +221,9 @@ std::string CacheKeyFor(const QueryRequest& request) {
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   std::string key;
-  key.reserve(5 + 4 * sorted.size());
+  key.reserve(6 + 4 * sorted.size());
   AppendU8(&key, static_cast<uint8_t>(request.metric));
+  AppendU8(&key, static_cast<uint8_t>(request.hierarchy));
   AppendU32(&key, request.k);
   for (const VertexId v : sorted) AppendU32(&key, v);
   return key;

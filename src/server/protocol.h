@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "hcd/hierarchy_kind.h"
 #include "search/metrics.h"
 
 namespace hcd::server {
@@ -27,16 +28,28 @@ namespace hcd::server {
 ///   u8  type                    (MessageType)
 ///   -- type == kQuery:
 ///   u8  metric                  (index into kAllMetrics)
+///   u8  hierarchy               (HierarchyKind: 0 core, 1 truss, 2 nucleus)
 ///   u32 k                       (0 = no level constraint)
 ///   u32 max_return_vertices     (cap on vertices echoed back)
 ///   u32 num_vertices
 ///   u32 vertices[num_vertices]
 ///
-/// Query semantics: with an empty vertex set, the best-scoring k-core
-/// under `metric` over all tree nodes of level >= k (k = 0 is exactly
-/// QuerySnapshot::Search). With vertices, the k-core containing *all* of
-/// them (the shared ancestor-walk node), scored under `metric`; `found`
-/// is false when no such core exists.
+/// Query semantics for hierarchy == core: with an empty vertex set, the
+/// best-scoring k-core under `metric` over all tree nodes of level >= k
+/// (k = 0 is exactly QuerySnapshot::Search). With vertices, the k-core
+/// containing *all* of them (the shared ancestor-walk node), scored under
+/// `metric`; `found` is false when no such core exists.
+///
+/// For hierarchy == truss / nucleus the server must be configured with a
+/// matching element index (otherwise it answers found = false without
+/// closing the connection). The `vertices` field then carries *element
+/// ids* (edge ids / triangle ids of the frozen index), `metric` is
+/// ignored (element communities score by density), and the semantics
+/// mirror the core regimes: empty ids + k == 0 is the densest community,
+/// empty ids + k > 0 the densest community of level >= k, and non-empty
+/// ids the community containing all of them. The echoed vertices are the
+/// community's *member graph vertices* (sorted), `core_size` counts its
+/// elements, and `score` is its density.
 ///
 /// Response payload:
 ///   u8  status                  (ResponseStatus)
@@ -71,6 +84,7 @@ inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 
 struct QueryRequest {
   Metric metric = Metric::kAverageDegree;
+  HierarchyKind hierarchy = HierarchyKind::kCore;
   uint32_t k = 0;
   uint32_t max_return_vertices = 0;
   std::vector<VertexId> vertices;
@@ -109,9 +123,9 @@ bool DecodeMetricsResponse(std::string_view payload, ResponseStatus* status,
 /// Appends `payload` to `out` as one frame (length prefix + bytes).
 void AppendFrame(std::string* out, std::string_view payload);
 
-/// The canonical cache key of a query: metric, k and the sorted,
-/// deduplicated vertex set, packed as bytes. Two requests that must
-/// receive the same answer on one snapshot produce the same key
+/// The canonical cache key of a query: metric, hierarchy, k and the
+/// sorted, deduplicated vertex set, packed as bytes. Two requests that
+/// must receive the same answer on one snapshot produce the same key
 /// regardless of vertex order or duplicates.
 std::string CacheKeyFor(const QueryRequest& request);
 

@@ -158,6 +158,34 @@ QueryOutcome ExecuteQuery(const QuerySnapshot& snapshot,
   return out;
 }
 
+QueryOutcome ExecuteElementQuery(const ElementSearchIndex& index,
+                                 const QueryRequest& request, uint64_t epoch) {
+  QueryOutcome out;
+  out.epoch = epoch;
+  ElementHit hit;
+  if (request.vertices.empty()) {
+    hit = request.k == 0 ? index.Densest() : index.DensestAtLeast(request.k);
+  } else {
+    // The ids are untrusted: NodeOfKCoreContaining rejects out-of-range
+    // element ids, so a hostile request degrades to found = false.
+    const TreeNodeId node =
+        NodeOfKCoreContainingAll(index.flat(), request.vertices, request.k);
+    if (node == kInvalidNode) return out;
+    hit.found = true;
+    hit.node = node;
+    hit.level = index.flat().Level(node);
+    hit.elements = index.CommunityElements(node);
+    hit.score = index.Density(node);
+  }
+  if (!hit.found) return out;
+  out.found = true;
+  out.node = hit.node;
+  out.level = hit.level;
+  out.core_size = hit.elements;
+  out.score = hit.score;
+  return out;
+}
+
 QueryServer::QueryServer(const SnapshotManager* manager, ServerOptions options)
     : manager_(manager), options_(options) {
   HCD_CHECK(manager_ != nullptr) << "a query server needs a snapshot manager";
@@ -291,6 +319,7 @@ void QueryServer::WorkerLoop() {
   // (instruments were already resolved at Start).
   SnapshotReader reader(*manager_);
   SearchWorkspace ws;
+  ElementWorkspace ews;
   while (true) {
     int fd = -1;
     {
@@ -305,13 +334,13 @@ void QueryServer::WorkerLoop() {
       pending_.pop_front();
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
-    ServeConnection(fd, &reader, &ws);
+    ServeConnection(fd, &reader, &ws, &ews);
     ::close(fd);
   }
 }
 
 void QueryServer::ServeConnection(int fd, SnapshotReader* reader,
-                                  SearchWorkspace* ws) {
+                                  SearchWorkspace* ws, ElementWorkspace* ews) {
   std::string payload;
   while (!stop_.load(std::memory_order_relaxed)) {
     const ReadResult read = ReadFrame(fd, stop_, &payload);
@@ -350,18 +379,28 @@ void QueryServer::ServeConnection(int fd, SnapshotReader* reader,
       WriteFrame(fd, EncodeStatusOnlyResponse(ResponseStatus::kBadRequest));
       return;
     }
-    if (!AnswerQuery(fd, request, reader, ws)) return;
+    if (!AnswerQuery(fd, request, reader, ws, ews)) return;
   }
 }
 
 bool QueryServer::AnswerQuery(int fd, const QueryRequest& request,
-                              SnapshotReader* reader, SearchWorkspace* ws) {
+                              SnapshotReader* reader, SearchWorkspace* ws,
+                              ElementWorkspace* ews) {
   Timer timer;
   // The generation this request is answered on is fixed here: a publish
   // racing with the request leaves this query on its acquired snapshot,
   // and the cache refuses to mix the two epochs.
   const QuerySnapshot snapshot = reader->Snapshot();
   const uint64_t epoch = snapshot.epoch();
+  // Element requests route to the static element index when its kind
+  // matches; otherwise they answer found = false (the default outcome) so
+  // a client can probe what the server has loaded without being dropped.
+  const ElementSearchIndex* element_index =
+      request.hierarchy != HierarchyKind::kCore &&
+              options_.element_index != nullptr &&
+              options_.element_index->kind() == request.hierarchy
+          ? options_.element_index
+          : nullptr;
 
   CachedResult result;
   bool hit = false;
@@ -371,7 +410,14 @@ bool QueryServer::AnswerQuery(int fd, const QueryRequest& request,
     hit = cache_->Lookup(epoch, key, &result);
   }
   if (!hit) {
-    const QueryOutcome outcome = ExecuteQuery(snapshot, request, ws);
+    QueryOutcome outcome;
+    if (request.hierarchy == HierarchyKind::kCore) {
+      outcome = ExecuteQuery(snapshot, request, ws);
+    } else if (element_index != nullptr) {
+      outcome = ExecuteElementQuery(*element_index, request, epoch);
+    } else {
+      outcome.epoch = epoch;  // unserved kind: found stays false
+    }
     result = {outcome.epoch, outcome.found, outcome.node,
               outcome.level, outcome.core_size, outcome.score};
     if (cache_ != nullptr) cache_->Insert(epoch, key, result);
@@ -386,13 +432,22 @@ bool QueryServer::AnswerQuery(int fd, const QueryRequest& request,
   response.core_size = result.core_size;
   response.score = result.score;
   if (result.found && request.max_return_vertices > 0) {
-    // Node ids in the cache are valid exactly for `epoch`, which is the
-    // generation `snapshot` holds, so this span cannot dangle.
-    const std::span<const VertexId> members =
-        snapshot.CoreVertices(result.node);
-    const size_t count =
-        std::min<size_t>(request.max_return_vertices, members.size());
-    response.vertices.assign(members.begin(), members.begin() + count);
+    if (element_index != nullptr) {
+      // Element communities echo their member graph vertices (sorted),
+      // materialized per request into the worker's stamp workspace.
+      element_index->CommunityOf(result.node, ews, &response.vertices);
+      if (response.vertices.size() > request.max_return_vertices) {
+        response.vertices.resize(request.max_return_vertices);
+      }
+    } else {
+      // Node ids in the cache are valid exactly for `epoch`, which is the
+      // generation `snapshot` holds, so this span cannot dangle.
+      const std::span<const VertexId> members =
+          snapshot.CoreVertices(result.node);
+      const size_t count =
+          std::min<size_t>(request.max_return_vertices, members.size());
+      response.vertices.assign(members.begin(), members.begin() + count);
+    }
   }
 
   requests_.fetch_add(1, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "engine/live.h"
 #include "engine/snapshot.h"
+#include "search/element_search.h"
 #include "search/search_index.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
@@ -47,6 +48,24 @@ struct QueryOutcome {
 QueryOutcome ExecuteQuery(const QuerySnapshot& snapshot,
                           const QueryRequest& request, SearchWorkspace* ws);
 
+/// Evaluates one element-hierarchy query (request.hierarchy is truss or
+/// nucleus) against an ElementSearchIndex, mirroring ExecuteQuery's three
+/// regimes with `request.vertices` carrying element ids:
+///
+///   - empty ids, k == 0: the globally densest community (Densest);
+///   - empty ids, k > 0: the densest community of level >= k
+///     (DensestAtLeast, same first-node-wins tie order);
+///   - non-empty ids: the community containing all listed elements
+///     (NodeOfKCoreContainingAll ancestor walks over element ids), scored
+///     by its precomputed density.
+///
+/// Out-of-range element ids answer found = false. `epoch` stamps the
+/// outcome (the index is static; the server passes the current snapshot
+/// generation so the result cache keys uniformly). Reads only const index
+/// state; safe for any number of concurrent callers.
+QueryOutcome ExecuteElementQuery(const ElementSearchIndex& index,
+                                 const QueryRequest& request, uint64_t epoch);
+
 struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
   /// port() after Start). The server is loopback-only by design — it is a
@@ -62,6 +81,14 @@ struct ServerOptions {
   /// Serve results through the epoch-keyed ResultCache.
   bool cache = true;
   ResultCache::Options cache_options;
+  /// Optional element-hierarchy index (truss or nucleus) served alongside
+  /// the core snapshots; must outlive the server. Requests whose hierarchy
+  /// byte matches its kind are answered by ExecuteElementQuery; element
+  /// requests for any other kind (or when this is null) answer
+  /// found = false without closing the connection, so one client can probe
+  /// what the server has loaded. The index is static across publishes —
+  /// its answers are cached under the current core-snapshot epoch.
+  const ElementSearchIndex* element_index = nullptr;
 };
 
 /// Counters mirrored into the metrics registry (kept as plain atomics too
@@ -136,10 +163,11 @@ class QueryServer {
   void AcceptLoop();
   void WorkerLoop();
   /// Serves one connection to completion; returns on EOF, error, or stop.
-  void ServeConnection(int fd, SnapshotReader* reader, SearchWorkspace* ws);
+  void ServeConnection(int fd, SnapshotReader* reader, SearchWorkspace* ws,
+                       ElementWorkspace* ews);
   /// Answers one already-decoded query request on `fd`.
   bool AnswerQuery(int fd, const QueryRequest& request, SnapshotReader* reader,
-                   SearchWorkspace* ws);
+                   SearchWorkspace* ws, ElementWorkspace* ews);
 
   const SnapshotManager* manager_;
   ServerOptions options_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "hcd/flat_index.h"
 #include "hcd/forest.h"
 #include "truss/edge_index.h"
 #include "truss/truss_decomposition.h"
@@ -47,6 +48,9 @@ struct TrussCommunity {
   }
 };
 
+/// Builder-forest community-of: a DFS plus an allocation per call. Kept as
+/// the test oracle for the frozen-index overload below; serve paths use
+/// the FlatHcdIndex form.
 TrussCommunity TrussCommunityOf(const Graph& graph, const EdgeIndexer& index,
                                 const TrussForest& forest, TreeNodeId node);
 
@@ -57,8 +61,33 @@ struct DensestTrussResult {
   uint32_t level = 0;
   TrussCommunity community;
 };
+
+/// Builder-forest densest scan; test oracle for the frozen overload.
 DensestTrussResult DensestTruss(const Graph& graph, const EdgeIndexer& index,
                                 const TrussForest& forest);
+
+// --- frozen (serve-phase) forms --------------------------------------------
+
+/// Kind-tagged freeze of a truss forest: the preorder packing of Freeze
+/// plus HierarchyKind::kTruss and the edge -> endpoint materialization
+/// (EdgeIndexer::edges flattened, endpoints ascending). The result serves
+/// every flat-index query (CoreVertices spans over edge ids, ancestor
+/// walks, ElementSearchIndex) and snapshots as the v3 format.
+FlatHcdIndex FreezeTruss(const Graph& graph, const EdgeIndexer& index,
+                         const TrussForest& forest);
+
+/// Frozen-index community-of: the subtree's edges are one O(1) span and
+/// their endpoints come from the embedded element members, so the cost is
+/// O(answer) with no tree DFS and no per-node allocation. Bit-identical
+/// output (sorted distinct endpoints + edge count) to the builder oracle
+/// on the node holding the same edges.
+TrussCommunity TrussCommunityOf(const FlatHcdIndex& flat, TreeNodeId node);
+
+/// Frozen-index densest scan: one stamped pass over the preorder nodes
+/// (distinct-endpoint counting without sorting), then a single community
+/// materialization for the winner. Same maximum average degree as the
+/// builder oracle; ties resolve to the first preorder node.
+DensestTrussResult DensestTruss(const FlatHcdIndex& flat);
 
 }  // namespace hcd
 

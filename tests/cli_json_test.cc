@@ -134,6 +134,26 @@ TEST_F(CliJsonTest, QueryBenchRatiosStayFinite) {
   EXPECT_GE(qps->number, 0.0);  // the strict parser already rejected inf/nan
 }
 
+TEST_F(CliJsonTest, ElementQueryBenchReportsKindAndStaysFinite) {
+  // The element regime of query-bench: --hierarchy=truss runs the
+  // ElementSearchIndex workload and tags its result with the kind.
+  const JsonValue doc = RunAndParse(
+      "query-bench " + bin_path_ +
+          " --hierarchy=truss --query-threads=2 --queries=60",
+      "query-bench");
+  const JsonValue* result = doc.Find("result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* hierarchy = result->Find("hierarchy");
+  ASSERT_NE(hierarchy, nullptr);
+  EXPECT_EQ(hierarchy->str, "truss");
+  const JsonValue* qps = result->Find("qps");
+  ASSERT_NE(qps, nullptr);
+  EXPECT_GE(qps->number, 0.0);
+  const JsonValue* elements = result->Find("elements");
+  ASSERT_NE(elements, nullptr);
+  EXPECT_GT(elements->number, 0.0);
+}
+
 TEST_F(CliJsonTest, LiveBenchRatiosStayFinite) {
   const JsonValue doc = RunAndParse(
       "live-bench " + bin_path_ +

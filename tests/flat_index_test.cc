@@ -1,7 +1,9 @@
 // Tests for the frozen flat representation: Freeze equivalence against the
 // builder forest, the preorder/CSR structural invariants, Adopt's
 // validation of every invariant, v2 snapshot round-trips (bit-identical),
-// the v1 -> v2 migration path, and corrupt-v2 rejection.
+// the v1 -> v2 migration path, corrupt-v2 rejection, and the element
+// domains (kind-tagged truss/nucleus freezes, v3 snapshots, corrupt-v3
+// rejection).
 
 #include "hcd/flat_index.h"
 
@@ -20,8 +22,14 @@
 #include "hcd/phcd.h"
 #include "hcd/serialize.h"
 #include "hcd/validate.h"
+#include "nucleus/nucleus_decomposition.h"
+#include "nucleus/nucleus_hierarchy.h"
+#include "nucleus/triangle_index.h"
 #include "parallel/omp_utils.h"
 #include "tests/test_util.h"
+#include "truss/edge_index.h"
+#include "truss/truss_decomposition.h"
+#include "truss/truss_hierarchy.h"
 
 namespace hcd {
 namespace {
@@ -447,6 +455,258 @@ TEST_F(FlatSnapshotCorruption, TamperedSectionsFailAdopt) {
     std::memcpy(bytes.data() + group_off, &bad_offset, sizeof(bad_offset));
     ExpectCorrupt(bytes, "level group offset out of range");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Element domains: kind-tagged freezes and Adopt's element validation.
+
+FlatHcdIndex FreezeTrussOf(const Graph& g) {
+  EdgeIndexer index = BuildEdgeIndexer(g);
+  TrussDecomposition td = PeelTrussDecomposition(g, index);
+  TrussForest forest = BuildTrussHierarchy(g, index, td);
+  return FreezeTruss(g, index, forest);
+}
+
+FlatHcdIndex FreezeNucleusOf(const Graph& g) {
+  EdgeIndexer eidx = BuildEdgeIndexer(g);
+  TriangleIndexer tidx = BuildTriangleIndexer(g, eidx);
+  NucleusDecomposition nd = PeelNucleusDecomposition(g, eidx, tidx);
+  NucleusForest forest = BuildNucleusHierarchy(g, eidx, tidx, nd);
+  return FreezeNucleus(g, tidx, forest);
+}
+
+TEST(FlatIndexElements, TrussFreezeCarriesKindAndMembers) {
+  Graph g = PlantedHierarchy(OnionSpec(5, 8), 3);
+  EdgeIndexer index = BuildEdgeIndexer(g);
+  TrussDecomposition td = PeelTrussDecomposition(g, index);
+  TrussForest forest = BuildTrussHierarchy(g, index, td);
+  const FlatHcdIndex flat = FreezeTruss(g, index, forest);
+
+  EXPECT_EQ(flat.kind(), HierarchyKind::kTruss);
+  EXPECT_EQ(flat.arity(), 2u);
+  EXPECT_EQ(flat.NumElements(), index.NumEdges());
+  EXPECT_EQ(flat.NumGraphVertices(), g.NumVertices());
+  for (VertexId e = 0; e < flat.NumElements(); ++e) {
+    const std::span<const VertexId> m = flat.ElementMembers(e);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], index.edges[e].first);
+    EXPECT_EQ(m[1], index.edges[e].second);
+    EXPECT_LT(m[0], m[1]);
+  }
+  // The tree itself is the plain Freeze of the same forest.
+  EXPECT_TRUE(HcdEquals(forest, flat));
+  FlatHcdIndex adopted;
+  ASSERT_TRUE(FlatHcdIndex::Adopt(flat.data(), &adopted).ok());
+  EXPECT_EQ(adopted.kind(), HierarchyKind::kTruss);
+}
+
+TEST(FlatIndexElements, NucleusFreezeCarriesKindAndMembers) {
+  Graph g = PlantedHierarchy(OnionSpec(5, 7), 13);
+  EdgeIndexer eidx = BuildEdgeIndexer(g);
+  TriangleIndexer tidx = BuildTriangleIndexer(g, eidx);
+  NucleusDecomposition nd = PeelNucleusDecomposition(g, eidx, tidx);
+  NucleusForest forest = BuildNucleusHierarchy(g, eidx, tidx, nd);
+  const FlatHcdIndex flat = FreezeNucleus(g, tidx, forest);
+
+  EXPECT_EQ(flat.kind(), HierarchyKind::kNucleus);
+  EXPECT_EQ(flat.arity(), 3u);
+  EXPECT_EQ(flat.NumElements(), tidx.NumTriangles());
+  EXPECT_EQ(flat.NumGraphVertices(), g.NumVertices());
+  for (VertexId t = 0; t < flat.NumElements(); ++t) {
+    const std::span<const VertexId> m = flat.ElementMembers(t);
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m[0], tidx.triangles[t][0]);
+    EXPECT_EQ(m[1], tidx.triangles[t][1]);
+    EXPECT_EQ(m[2], tidx.triangles[t][2]);
+    EXPECT_LT(m[0], m[1]);
+    EXPECT_LT(m[1], m[2]);
+  }
+  FlatHcdIndex adopted;
+  ASSERT_TRUE(FlatHcdIndex::Adopt(flat.data(), &adopted).ok());
+}
+
+FlatHcdIndex::Data ValidTrussData() {
+  return FreezeTrussOf(PlantedHierarchy(OnionSpec(5, 8), 3)).data();
+}
+
+TEST(FlatIndexAdopt, RejectsElementDomainViolations) {
+  const FlatHcdIndex::Data valid = ValidTrussData();
+  ASSERT_EQ(valid.kind, HierarchyKind::kTruss);
+  ASSERT_GE(valid.element_members.size(), 4u);
+
+  {
+    FlatHcdIndex::Data d = valid;
+    d.kind = static_cast<HierarchyKind>(7);
+    ExpectAdoptCorruption(std::move(d), "invalid kind value");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.kind = HierarchyKind::kCore;  // core carries no members
+    ExpectAdoptCorruption(std::move(d), "core with element members");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.kind = HierarchyKind::kNucleus;  // arity 3 vs 2*n members
+    ExpectAdoptCorruption(std::move(d), "kind/member-count mismatch");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.element_members.pop_back();
+    ExpectAdoptCorruption(std::move(d), "member count not arity*n");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    d.element_members[0] = d.num_graph_vertices;  // out of graph range
+    ExpectAdoptCorruption(std::move(d), "member out of graph range");
+  }
+  {
+    FlatHcdIndex::Data d = valid;
+    std::swap(d.element_members[0], d.element_members[1]);
+    ExpectAdoptCorruption(std::move(d), "members not ascending");
+  }
+  // And the core-side invariants the extension added.
+  {
+    FlatHcdIndex::Data d = ValidData();
+    d.element_members = {0, 1};
+    ExpectAdoptCorruption(std::move(d), "core index with members");
+  }
+  {
+    FlatHcdIndex::Data d = ValidData();
+    d.num_graph_vertices = d.num_vertices + 1;
+    ExpectAdoptCorruption(std::move(d), "core graph/element domain split");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v3 snapshots: bit-identical round trips, core stays v2, corrupt files.
+
+void ExpectV3RoundTrip(const FlatHcdIndex& flat, const char* tag) {
+  const std::string path1 =
+      ::testing::TempDir() + "/flat_v3_" + tag + "_1.bin";
+  const std::string path2 =
+      ::testing::TempDir() + "/flat_v3_" + tag + "_2.bin";
+  ASSERT_TRUE(SaveFlatIndex(flat, path1).ok());
+  FlatHcdIndex loaded;
+  ASSERT_TRUE(LoadFlatIndex(path1, &loaded).ok());
+  EXPECT_TRUE(HcdEquals(flat, loaded));
+  EXPECT_EQ(loaded.kind(), flat.kind());
+  EXPECT_EQ(loaded.NumGraphVertices(), flat.NumGraphVertices());
+  EXPECT_EQ(loaded.data().element_members, flat.data().element_members);
+  ASSERT_TRUE(SaveFlatIndex(loaded, path2).ok());
+  EXPECT_EQ(ReadAll(path1), ReadAll(path2));
+  // A v3 file is not a builder forest.
+  HcdForest forest;
+  EXPECT_EQ(LoadForest(path1, &forest).code(), StatusCode::kInvalidArgument);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(FlatIndexSnapshot, V3TrussRoundTripIsBitIdentical) {
+  ExpectV3RoundTrip(FreezeTrussOf(RMatGraph500(8, 2000, 5)), "truss");
+}
+
+TEST(FlatIndexSnapshot, V3NucleusRoundTripIsBitIdentical) {
+  ExpectV3RoundTrip(FreezeNucleusOf(PlantedHierarchy(OnionSpec(4, 7), 11)),
+                    "nucleus");
+}
+
+TEST(FlatIndexSnapshot, CoreSnapshotsStayV2) {
+  Graph g = PlantedHierarchy(OnionSpec(4, 6), 19);
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  const FlatHcdIndex flat = Freeze(NaiveHcdBuild(g, cd));
+  const std::string path = ::testing::TempDir() + "/flat_still_v2.bin";
+  ASSERT_TRUE(SaveFlatIndex(flat, path).ok());
+  const std::vector<char> bytes = ReadAll(path);
+  uint64_t magic = 0;
+  ASSERT_GE(bytes.size(), sizeof(magic));
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  EXPECT_EQ(magic, 0x484344464f523032ULL);  // "HCDFOR02"
+  std::remove(path.c_str());
+}
+
+class FlatSnapshotV3Corruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = FreezeTrussOf(PlantedHierarchy(OnionSpec(4, 7), 11));
+    path_ = ::testing::TempDir() + "/flat_v3_corrupt.bin";
+    ASSERT_TRUE(SaveFlatIndex(index_, path_).ok());
+    bytes_ = ReadAll(path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void ExpectCorrupt(const std::vector<char>& bytes, const char* what) {
+    WriteAll(path_, bytes);
+    FlatHcdIndex loaded;
+    Status s = LoadFlatIndex(path_, &loaded);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << what << ": " << s.ToString();
+  }
+
+  uint64_t HeaderWord(size_t i) const {
+    uint64_t w;
+    std::memcpy(&w, bytes_.data() + i * sizeof(uint64_t), sizeof(w));
+    return w;
+  }
+
+  std::vector<char> WithHeaderWord(size_t i, uint64_t value) const {
+    std::vector<char> bytes = bytes_;
+    std::memcpy(bytes.data() + i * sizeof(uint64_t), &value, sizeof(value));
+    return bytes;
+  }
+
+  FlatHcdIndex index_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(FlatSnapshotV3Corruption, WrongKindTag) {
+  // v3 header word 1 is the kind. kCore is non-canonical in v3 (the
+  // writer emits v2 for core), out-of-range values are garbage, and a
+  // plausible-but-wrong kind disagrees with the member count (arity).
+  ExpectCorrupt(WithHeaderWord(1, 0), "v3 tagged kCore");
+  ExpectCorrupt(WithHeaderWord(1, 7), "kind out of range");
+  ExpectCorrupt(WithHeaderWord(1, 0xFFFFFFFFFFFFFFFFULL), "kind garbage");
+  ExpectCorrupt(WithHeaderWord(1, 2), "kind/arity mismatch");
+}
+
+TEST_F(FlatSnapshotV3Corruption, ElementCountAndGraphMismatch) {
+  // num_element_members (word 9) must equal arity * n and match the file
+  // size; num_graph_vertices (word 2) bounds every member id.
+  ExpectCorrupt(WithHeaderWord(9, HeaderWord(9) + 1), "member count + 1");
+  ExpectCorrupt(WithHeaderWord(9, HeaderWord(9) - 2), "member count - 2");
+  ExpectCorrupt(WithHeaderWord(2, 1), "graph smaller than members");
+  ExpectCorrupt(WithHeaderWord(10, 1), "nonzero reserved word");
+  ExpectCorrupt(WithHeaderWord(11, 1), "nonzero reserved word 2");
+}
+
+TEST_F(FlatSnapshotV3Corruption, TruncatedElementSection) {
+  std::vector<char> bytes = bytes_;
+  bytes.resize(bytes.size() - 8);  // drop the tail of element_members
+  ExpectCorrupt(bytes, "truncated element section");
+  bytes.resize(12 * sizeof(uint64_t));  // header only
+  ExpectCorrupt(bytes, "sections missing entirely");
+  bytes.resize(40);  // mid-header
+  ExpectCorrupt(bytes, "mid-header truncation");
+}
+
+TEST_F(FlatSnapshotV3Corruption, TamperedMembersFailAdopt) {
+  // Swap the two endpoints of edge 0 in the trailing element section:
+  // every header count and the file size stay valid, so only Adopt's
+  // ascending-members check stands between the file and the serve path.
+  const uint64_t num_members = HeaderWord(9);
+  ASSERT_GE(num_members, 2u);
+  std::vector<char> bytes = bytes_;
+  const size_t padded_members =
+      (num_members * sizeof(uint32_t) + 7) / 8 * 8;
+  const size_t members_off = bytes.size() - padded_members;
+  uint32_t a, b;
+  std::memcpy(&a, bytes.data() + members_off, sizeof(a));
+  std::memcpy(&b, bytes.data() + members_off + sizeof(a), sizeof(b));
+  ASSERT_LT(a, b);
+  std::memcpy(bytes.data() + members_off, &b, sizeof(b));
+  std::memcpy(bytes.data() + members_off + sizeof(b), &a, sizeof(a));
+  ExpectCorrupt(bytes, "members not ascending");
 }
 
 }  // namespace

@@ -24,8 +24,12 @@
 #include "engine/live.h"
 #include "graph/generators.h"
 #include "hcd/query.h"
+#include "search/element_search.h"
 #include "search/metrics.h"
 #include "server/client.h"
+#include "truss/edge_index.h"
+#include "truss/truss_decomposition.h"
+#include "truss/truss_hierarchy.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
 #include "server/server.h"
@@ -345,6 +349,97 @@ TEST(QueryServerTest, AnswersQueriesAndCachesRepeats) {
   EXPECT_EQ(stats.requests, 2u);
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.connections, 1u);
+}
+
+TEST(QueryServerTest, ServesElementHierarchyAlongsideCore) {
+  Graph graph = ErdosRenyiGnm(180, 900, 29);
+
+  // Frozen truss index served next to the live core snapshots.
+  const EdgeIndexer eidx = BuildEdgeIndexer(graph);
+  const TrussDecomposition td = PeelTrussDecomposition(graph, eidx);
+  auto flat = std::make_shared<const FlatHcdIndex>(
+      FreezeTruss(graph, eidx, BuildTrussHierarchy(graph, eidx, td)));
+  const ElementSearchIndex element_index(flat);
+  ASSERT_GT(flat->NumNodes(), 0u);
+
+  LiveEngine live(std::move(graph));
+  ServerOptions options;
+  options.workers = 2;
+  options.element_index = &element_index;
+  QueryServer server(&live.manager(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Regime 1: empty ids, k == 0 — the globally densest truss community,
+  // bit-identical to the in-process index.
+  QueryRequest request;
+  request.hierarchy = HierarchyKind::kTruss;
+  request.max_return_vertices = 8;
+  QueryResponse response;
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_TRUE(response.found);
+  const ElementHit densest = element_index.Densest();
+  EXPECT_EQ(response.score, densest.score);
+  EXPECT_EQ(response.level, densest.level);
+  EXPECT_EQ(response.core_size, densest.elements);
+  EXPECT_EQ(response.epoch, live.Epoch());
+  // The echoed vertices are the community's member graph vertices,
+  // ascending and truncated to max_return_vertices.
+  ElementWorkspace ws;
+  std::vector<VertexId> expect_vertices;
+  element_index.CommunityOf(densest.node, &ws, &expect_vertices);
+  if (expect_vertices.size() > 8) expect_vertices.resize(8);
+  EXPECT_EQ(response.vertices, expect_vertices);
+
+  // Repeats hit the cache under the same epoch.
+  QueryResponse repeat;
+  ASSERT_TRUE(client.Query(request, &repeat).ok());
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.score, response.score);
+
+  // Regime 2: level-constrained densest.
+  request.k = 3;
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  const ElementHit at_least = element_index.DensestAtLeast(3);
+  EXPECT_EQ(response.found, at_least.found);
+  if (response.found) {
+    EXPECT_EQ(response.score, at_least.score);
+    EXPECT_GE(response.level, 3u);
+  }
+
+  // Regime 3: ids carry *element* (edge) ids; the answer is the community
+  // containing them all.
+  request.k = 0;
+  request.vertices = {0};
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  const TreeNodeId node = hcd::NodeOfKCoreContaining(*flat, 0, 0);
+  ASSERT_NE(node, kInvalidNode);
+  ASSERT_TRUE(response.found);
+  EXPECT_EQ(response.level, flat->Level(node));
+  EXPECT_EQ(response.core_size, flat->CoreSize(node));
+  EXPECT_EQ(response.score, element_index.Density(node));
+
+  // A hostile out-of-range element id answers found = false, not a crash.
+  request.vertices = {flat->NumElements() + 1000};
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_FALSE(response.found);
+
+  // An unserved kind (nucleus here) answers found = false and keeps the
+  // connection open for the next request.
+  request.hierarchy = HierarchyKind::kNucleus;
+  request.vertices.clear();
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_FALSE(response.found);
+  request.hierarchy = HierarchyKind::kCore;
+  ASSERT_TRUE(client.Query(request, &response).ok());
+  EXPECT_TRUE(response.found);  // core regime still answers on this socket
+
+  server.Stop();
 }
 
 TEST(QueryServerTest, PipelinedRequestsAnswerInOrder) {

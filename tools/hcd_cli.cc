@@ -69,6 +69,8 @@
 #include "graph/ingest.h"
 #include "graph/io.h"
 #include "hcd/export.h"
+#include "hcd/hierarchy_kind.h"
+#include "hcd/query.h"
 #include "hcd/serialize.h"
 #include "hcd/stats.h"
 #include "parallel/omp_utils.h"
@@ -152,6 +154,11 @@ int Usage() {
       "                           query-bench only)\n"
       "  --metrics=a,b,...        workload metric mix (default: all\n"
       "                           metrics, round-robin)\n"
+      "flags (build, export, query-bench, serve):\n"
+      "  --hierarchy=core|truss|nucleus\n"
+      "                           decomposition family to build and serve\n"
+      "                           (default core; serve keeps answering core\n"
+      "                           queries and adds the element index)\n"
       "flags (live-bench):\n"
       "  --batch-size=N           edge updates per batch (default 100)\n"
       "  --batches=N              batches the writer applies (default 20)\n"
@@ -208,6 +215,9 @@ struct CliArgs {
   bool no_cache = false;
   std::string server_metrics_out;
   std::string server_flag;
+  // --hierarchy (build / export / query-bench / serve only; rejected
+  // elsewhere via `hierarchy_flag`).
+  std::string hierarchy_flag;
 };
 
 bool MetricByName(const std::string& name, hcd::Metric* metric) {
@@ -250,6 +260,16 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
                      value.c_str());
         return false;
       }
+    } else if (arg.rfind("--hierarchy=", 0) == 0) {
+      const std::string value = arg.substr(12);
+      if (!hcd::ParseHierarchyKind(value, &out->options.hierarchy)) {
+        std::fprintf(stderr,
+                     "error: bad --hierarchy value '%s' (want core, truss "
+                     "or nucleus)\n",
+                     value.c_str());
+        return false;
+      }
+      if (out->hierarchy_flag.empty()) out->hierarchy_flag = arg;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string value = arg.substr(10);
       char* end = nullptr;
@@ -612,11 +632,19 @@ int CmdBuild(const CliArgs& args) {
     return 0;
   }
   const hcd::StageTelemetry& t = engine->telemetry();
-  std::printf("%s: core decomposition %.3fs, construction %.3fs (+freeze "
+  // Non-core kinds record kind-prefixed stage names.
+  const bool core = args.options.hierarchy == hcd::HierarchyKind::kCore;
+  const std::string prefix =
+      core ? ""
+           : std::string(hcd::HierarchyKindName(args.options.hierarchy)) + ".";
+  std::printf("%s: %s decomposition %.3fs, construction %.3fs (+freeze "
               "%.3fs), %u nodes\n",
               hcd::EngineAlgoName(args.options.algo),
-              t.StageSeconds("decomposition"), t.StageSeconds("construction"),
-              t.StageSeconds("construction.freeze"), flat.NumNodes());
+              core ? "core" : hcd::HierarchyKindName(args.options.hierarchy),
+              t.StageSeconds((prefix + "decomposition").c_str()),
+              t.StageSeconds((prefix + "construction").c_str()),
+              t.StageSeconds((prefix + "construction.freeze").c_str()),
+              flat.NumNodes());
   return 0;
 }
 
@@ -797,8 +825,97 @@ int CmdInfluential(const CliArgs& args) {
   return 0;
 }
 
+/// query-bench for element hierarchies (truss / nucleus): builds one
+/// immutable ElementSearchIndex, then serves a mixed workload from
+/// --query-threads concurrent workers — alternating level-constrained
+/// densest scans (k cycling) with community materializations of the
+/// class containing a deterministically sampled element. Reports QPS and
+/// nearest-rank tail latency, and emits a "<kind>_query_bench_cli"
+/// baseline row.
+int CmdElementQueryBench(const CliArgs& args) {
+  std::unique_ptr<HcdEngine> engine;
+  Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
+  if (!s.ok()) return Fail(s);
+  const hcd::ElementSearchIndex& index = engine->ElementSearcher();
+  const hcd::FlatHcdIndex& flat = index.flat();
+  const hcd::VertexId num_elements = flat.NumVertices();
+  const char* kind_name = hcd::HierarchyKindName(args.options.hierarchy);
+  const int workers = args.query_threads > 0 ? args.query_threads
+                                             : hcd::HardwareThreads();
+  const int queries = args.queries;
+
+  std::vector<hcd::bench::LatencyRecorder> recorders(workers);
+  double wall = 0.0;
+  {
+    ScopedStage stage(engine->sink(), "serve");
+    hcd::Timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        hcd::ElementWorkspace ws;
+        std::vector<hcd::VertexId> community;
+        for (int q = t; q < queries; q += workers) {
+          hcd::Timer query_timer;
+          if (q % 2 == 0 || num_elements == 0) {
+            index.DensestAtLeast(static_cast<uint32_t>(q / 2) % 8);
+          } else {
+            // Community of the class containing a deterministically
+            // sampled element (Knuth-hash spread over the element ids).
+            const hcd::VertexId element = static_cast<hcd::VertexId>(
+                (static_cast<uint64_t>(q) * 2654435761ull) % num_elements);
+            community.clear();
+            index.CommunityOf(hcd::NodeOfKCoreContaining(flat, element, 0),
+                              &ws, &community);
+          }
+          recorders[t].Record(query_timer.Seconds());
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    wall = timer.Seconds();
+    stage.AddCounter("queries", queries);
+    stage.AddCounter("workers", workers);
+  }
+  hcd::bench::LatencyRecorder latencies;
+  for (const hcd::bench::LatencyRecorder& r : recorders) latencies.Merge(r);
+  const double qps =
+      hcd::FiniteOrZero(static_cast<double>(queries) / wall);
+  hcd::bench::ReportBaseline(
+      std::string(kind_name) + "_query_bench_cli",
+      hcd::bench::DatasetNameFromPath(args.pos[0]), workers, wall,
+      {{"qps", qps},
+       {"queries", static_cast<double>(queries)},
+       {"p99_us", latencies.P99() * 1e6}});
+
+  if (args.json) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"result\":{\"hierarchy\":\"%s\",\"queries\":%d,"
+                  "\"query_threads\":%d,\"tree_nodes\":%u,\"elements\":%u,"
+                  "\"qps\":%.1f,\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,"
+                  "\"p99\":%.1f}}",
+                  kind_name, queries, workers, flat.NumNodes(), num_elements,
+                  qps, latencies.P50() * 1e6, latencies.P95() * 1e6,
+                  latencies.P99() * 1e6);
+    PrintJsonReport("query-bench", args, *engine, buf);
+    return 0;
+  }
+  std::printf("served %d %s queries with %d workers over one element "
+              "index (%u classes, %u elements)\n",
+              queries, kind_name, workers, flat.NumNodes(), num_elements);
+  std::printf("QPS   %.0f\n", qps);
+  std::printf("p50   %.1f us\n", latencies.P50() * 1e6);
+  std::printf("p95   %.1f us\n", latencies.P95() * 1e6);
+  std::printf("p99   %.1f us\n", latencies.P99() * 1e6);
+  return 0;
+}
+
 int CmdQueryBench(const CliArgs& args) {
   if (args.pos.size() != 1) return Usage();
+  if (args.options.hierarchy != hcd::HierarchyKind::kCore) {
+    return CmdElementQueryBench(args);
+  }
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
@@ -1117,11 +1234,22 @@ int CmdServe(const CliArgs& args) {
                  ? hcd::LoadBinary(args.pos[0], &graph)
                  : hcd::LoadEdgeListText(args.pos[0], &graph);
   if (!s.ok()) return Fail(s);
+  // --hierarchy=truss|nucleus: build the element hierarchy up front (on a
+  // copy of the graph — the live engine takes the original) and serve its
+  // eager search index next to the core snapshots. The live manager keeps
+  // publishing core generations; element requests route by their wire
+  // hierarchy byte.
+  std::optional<HcdEngine> element_engine;
+  hcd::server::ServerOptions options;
+  if (args.options.hierarchy != hcd::HierarchyKind::kCore) {
+    element_engine.emplace(Graph(graph), args.options);
+    options.element_index = &element_engine->ElementSearcher();
+  }
   hcd::LiveEngineOptions live_options;
   live_options.engine = args.options;
+  live_options.engine.hierarchy = hcd::HierarchyKind::kCore;
   hcd::LiveEngine live(std::move(graph), live_options);
 
-  hcd::server::ServerOptions options;
   options.port = static_cast<uint16_t>(args.port);
   options.workers = args.server_workers;
   options.max_pending = args.max_pending;
@@ -1131,9 +1259,14 @@ int CmdServe(const CliArgs& args) {
   if (!s.ok()) return Fail(s);
 
   // The port line is the readiness signal scripts wait for; flush it.
-  std::printf("serving %s on 127.0.0.1:%u (%d workers, cache %s)\n",
+  const std::string hierarchy_note =
+      options.element_index != nullptr
+          ? std::string(", ") +
+                hcd::HierarchyKindName(args.options.hierarchy) + " index"
+          : "";
+  std::printf("serving %s on 127.0.0.1:%u (%d workers, cache %s%s)\n",
               args.pos[0].c_str(), server.port(), server.workers(),
-              options.cache ? "on" : "off");
+              options.cache ? "on" : "off", hierarchy_note.c_str());
   std::fflush(stdout);
 
   g_serve_stop.store(false);
@@ -1403,6 +1536,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: flag '%s' is only valid for serve or serve-bench\n",
                  args.server_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "build" && cmd != "export" && cmd != "query-bench" &&
+      cmd != "serve" && !args.hierarchy_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: flag '%s' is only valid for build, export, "
+                 "query-bench or serve\n",
+                 args.hierarchy_flag.c_str());
     return Usage();
   }
 
