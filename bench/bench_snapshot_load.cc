@@ -1,0 +1,153 @@
+// Snapshot load-path benchmark: the copying loader (LoadFlatIndex, fread
+// into owned sections) against the zero-copy mapping loader (MapFlatIndex,
+// sections aliasing one mmap). For each suite dataset the core hierarchy
+// is frozen, saved once, then loaded through both paths:
+//
+//   - cold: page cache for the snapshot dropped (posix_fadvise DONTNEED)
+//     before the load, modeling serve-process startup after a deploy;
+//   - warm: snapshot resident in the page cache, modeling a restart;
+//   - first query: one Tid + CoreVertices-span scan immediately after the
+//     load, so mmap's deferred page-fault cost is visible rather than
+//     hidden behind a fast Open.
+//
+// Both loaders run full Adopt validation, so the delta is purely
+// bytes-copied vs pages-aliased. Emits `snapshot_load` baseline rows (one
+// per dataset x mode) when HCD_BENCH_BASELINE is set; honors
+// HCD_BENCH_SMALL=1.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/core_decomposition.h"
+#include "hcd/flat_index.h"
+#include "hcd/phcd.h"
+#include "hcd/serialize.h"
+
+namespace {
+
+uint64_t g_sink = 0;  // defeats dead-code elimination across timed bodies
+
+/// Asks the kernel to evict the snapshot's cached pages so the next load
+/// pays real I/O. Best effort: on failure the "cold" numbers degrade to
+/// warm ones rather than aborting the bench.
+void DropPageCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+/// The first query a serving process would answer: resolve one vertex's
+/// node and scan that node's core span. After MapFlatIndex this is what
+/// actually faults the vertex sections in.
+double FirstQuerySeconds(const hcd::FlatHcdIndex& index) {
+  hcd::Timer timer;
+  uint64_t sum = 0;
+  if (index.NumVertices() > 0) {
+    const hcd::TreeNodeId node = index.Tid(index.NumVertices() / 2);
+    for (const hcd::VertexId v : index.CoreVertices(node)) sum += v;
+  }
+  g_sink += sum;
+  return timer.Seconds();
+}
+
+struct LoadSample {
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double first_query_s = 0.0;  ///< after the cold load
+};
+
+template <typename LoadFn>
+LoadSample MeasureLoader(const std::string& path, const LoadFn& load) {
+  LoadSample sample;
+  {
+    DropPageCache(path);
+    hcd::Timer timer;
+    hcd::FlatHcdIndex index;
+    const hcd::Status s = load(path, &index);
+    sample.cold_s = timer.Seconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    sample.first_query_s = FirstQuerySeconds(index);
+  }
+  // The cold pass left the file cached; the warm number is best-of to
+  // suppress allocator noise.
+  sample.warm_s = hcd::bench::TimeIt([&] {
+    hcd::FlatHcdIndex index;
+    if (!load(path, &index).ok()) std::exit(1);
+    g_sink += index.NumNodes();
+  }, 3);
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  hcd::bench::PrintHardwareBanner(
+      "Snapshot load: copying LoadFlatIndex vs zero-copy MapFlatIndex");
+  const bool small = hcd::bench::SmallBenchRequested();
+  std::vector<hcd::bench::BenchDataset> suite = hcd::bench::LoadBenchSuite(small);
+
+  std::printf("%-4s | %12s | %9s | mode | %9s | %9s | %11s\n", "ds",
+              "bytes", "nodes", "cold", "warm", "first query");
+  std::printf("-----+--------------+-----------+------+-----------+-----------"
+              "+------------\n");
+
+  for (const hcd::bench::BenchDataset& ds : suite) {
+    hcd::CoreDecomposition cd = hcd::BzCoreDecomposition(ds.graph);
+    const hcd::FlatHcdIndex flat = hcd::Freeze(hcd::PhcdBuild(ds.graph, cd));
+    const std::string path = "bench_data/snapshot_" + ds.name + ".bin";
+    if (!hcd::SaveFlatIndex(flat, path).ok()) {
+      std::fprintf(stderr, "save failed for %s\n", ds.name.c_str());
+      return 1;
+    }
+    uint64_t bytes = 0;
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      bytes = static_cast<uint64_t>(std::ftell(f));
+      std::fclose(f);
+    }
+
+    const LoadSample read_sample = MeasureLoader(
+        path, [](const std::string& p, hcd::FlatHcdIndex* out) {
+          return hcd::LoadFlatIndex(p, out);
+        });
+    const LoadSample map_sample = MeasureLoader(
+        path, [](const std::string& p, hcd::FlatHcdIndex* out) {
+          return hcd::MapFlatIndex(p, out);
+        });
+
+    for (const auto& [mode, sample] :
+         {std::pair<const char*, const LoadSample&>{"read", read_sample},
+          std::pair<const char*, const LoadSample&>{"mmap", map_sample}}) {
+      std::printf("%-4s | %12llu | %9u | %s | %8.2fms | %8.2fms | %9.2fus\n",
+                  ds.name.c_str(), static_cast<unsigned long long>(bytes),
+                  flat.NumNodes(), mode, sample.cold_s * 1e3,
+                  sample.warm_s * 1e3, sample.first_query_s * 1e6);
+      // The headline seconds is the warm load: deterministic (best-of-3,
+      // snapshot resident) where the cold number depends on whether the
+      // kernel honored the eviction hint, which varies by filesystem.
+      hcd::bench::ReportBaseline(
+          "snapshot_load", ds.name, 1, sample.warm_s,
+          {{"mmap", std::string(mode) == "mmap" ? 1.0 : 0.0},
+           {"cold_s", sample.cold_s},
+           {"first_query_us", sample.first_query_s * 1e6},
+           {"bytes", static_cast<double>(bytes)}});
+    }
+    std::remove(path.c_str());
+  }
+
+  std::printf("\n(sink %llu)\n", static_cast<unsigned long long>(g_sink));
+  return 0;
+}

@@ -15,7 +15,7 @@ For .json files: checks the document parses and has the metrics envelope.
 
 Usage:
   check_metrics.py METRICS_FILE [--expect-histogram-count=NAME=N ...]
-                                [--expect-gauge=NAME=VALUE ...]
+                                [--expect-gauge=NAME[=VALUE] ...]
                                 [--expect-counter=NAME=N ...]
 
 Exits non-zero with a diagnostic on the first violated check.
@@ -138,7 +138,7 @@ def check_prometheus(
         if value is None:
             print(f"{name}: expected gauge not found (unlabeled series)")
             return 1
-        if value != expected:
+        if expected is not None and value != expected:
             print(f"{name}: gauge value {value} != expected {expected}")
             return 1
 
@@ -172,8 +172,9 @@ def main() -> int:
         "--expect-gauge",
         action="append",
         default=[],
-        metavar="NAME=VALUE",
-        help="unlabeled gauge NAME must equal VALUE (repeatable)",
+        metavar="NAME[=VALUE]",
+        help="unlabeled gauge NAME must exist; with =VALUE it must also "
+        "equal VALUE (repeatable)",
     )
     parser.add_argument(
         "--expect-counter",
@@ -190,8 +191,9 @@ def main() -> int:
         expectations[name] = int(value)
     gauges = {}
     for spec in args.expect_gauge:
-        name, _, value = spec.partition("=")
-        gauges[name] = float(value)
+        name, sep, value = spec.partition("=")
+        # Bare NAME asserts presence only (value checks need a "=VALUE").
+        gauges[name] = float(value) if sep else None
     counters = {}
     for spec in args.expect_counter:
         name, _, value = spec.partition("=")

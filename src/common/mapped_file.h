@@ -1,0 +1,200 @@
+#ifndef HCD_COMMON_MAPPED_FILE_H_
+#define HCD_COMMON_MAPPED_FILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hcd {
+
+/// Read-only RAII memory mapping of a whole file. Opened via the factory so
+/// the mapping is always held behind a shared_ptr: views into the mapping
+/// (ArrayRef below) co-own the MappedFile, so the region outlives every
+/// reader no matter which handle is dropped first.
+///
+/// The process-wide total of currently mapped bytes is published to the
+/// metrics registry (gauge `hcd_snapshot_mapped_bytes`) whenever a mapping
+/// is created or destroyed, so a serving process can be monitored for
+/// snapshot residency.
+class MappedFile {
+ public:
+  /// Maps `path` PROT_READ and returns a shared handle. An empty file maps
+  /// to a valid zero-length handle (data() == nullptr). Open / stat / mmap
+  /// failures return IoError.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<const MappedFile>* out);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Total bytes currently mapped by live MappedFile instances in this
+  /// process (the value the hcd_snapshot_mapped_bytes gauge tracks).
+  static uint64_t TotalMappedBytes();
+
+ private:
+  MappedFile() = default;
+
+  void* data_ = nullptr;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// A section of a FlatHcdIndex: either owns its elements (a plain vector)
+/// or aliases a range inside a shared MappedFile. The storage seam is
+/// invisible to readers — data()/size()/operator[] are branch-free in both
+/// modes because `ptr_`/`size_` always track the active storage.
+///
+/// Semantics:
+///   - Owned mode behaves like std::vector<T>: copies are deep, mutation
+///     (resize / push_back / pop_back / operator[] writes) is supported.
+///   - Aliased mode shares the mapping: copies are cheap views that co-own
+///     the MappedFile. Growth/shrink mutators HCD_CHECK; assignment of a
+///     whole new value (operator=, assign) re-seats the ref to owned mode.
+///     The non-const element accessors still *read* correctly from a
+///     mapped ref (validation code walks non-const Data), but writing
+///     through them into a PROT_READ page faults — by design, mapped
+///     sections are immutable.
+template <typename T>
+class ArrayRef {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  ArrayRef() = default;
+  ArrayRef(std::initializer_list<T> init) : own_(init) { Sync(); }
+  explicit ArrayRef(std::vector<T> v) : own_(std::move(v)) { Sync(); }
+
+  /// Aliasing constructor: a view of `size` elements at `data`, which must
+  /// lie inside `backing`'s mapping. Shares ownership of the mapping.
+  ArrayRef(const T* data, size_t size,
+           std::shared_ptr<const MappedFile> backing)
+      : ptr_(data), size_(size), backing_(std::move(backing)) {}
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    if (other.backing_ != nullptr) {
+      own_.clear();
+      backing_ = other.backing_;
+      ptr_ = other.ptr_;
+      size_ = other.size_;
+    } else {
+      backing_ = nullptr;
+      own_ = other.own_;
+      Sync();
+    }
+    return *this;
+  }
+
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    backing_ = std::move(other.backing_);
+    if (backing_ != nullptr) {
+      own_.clear();
+      ptr_ = other.ptr_;
+      size_ = other.size_;
+    } else {
+      own_ = std::move(other.own_);
+      Sync();
+    }
+    other.backing_ = nullptr;
+    other.own_.clear();
+    other.Sync();
+    return *this;
+  }
+
+  ArrayRef& operator=(std::initializer_list<T> init) {
+    backing_ = nullptr;
+    own_.assign(init);
+    Sync();
+    return *this;
+  }
+  ArrayRef& operator=(std::vector<T> v) {
+    backing_ = nullptr;
+    own_ = std::move(v);
+    Sync();
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool mapped() const { return backing_ != nullptr; }
+
+  const T* data() const { return ptr_; }
+  const T& operator[](size_t i) const { return ptr_[i]; }
+  const T& front() const { return ptr_[0]; }
+  const T& back() const { return ptr_[size_ - 1]; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + size_; }
+
+  // Non-const element access reads from either storage (the mapped bytes
+  // are not const objects, so the cast is well-defined for reads); writes
+  // are only meaningful in owned mode.
+  T* data() { return const_cast<T*>(ptr_); }
+  T& operator[](size_t i) { return const_cast<T*>(ptr_)[i]; }
+  T& front() { return const_cast<T*>(ptr_)[0]; }
+  T& back() { return const_cast<T*>(ptr_)[size_ - 1]; }
+
+  operator std::span<const T>() const { return {ptr_, size_}; }
+
+  // Growth / shrink: owned mode only. `assign` is a whole-value
+  // replacement, so (like operator=) it re-seats a mapped ref to owned.
+  void resize(size_t n) {
+    HCD_CHECK(!mapped()) << "cannot resize a mapped section";
+    own_.resize(n);
+    Sync();
+  }
+  void assign(size_t n, const T& value) {
+    backing_ = nullptr;
+    own_.assign(n, value);
+    Sync();
+  }
+  void push_back(const T& value) {
+    HCD_CHECK(!mapped()) << "cannot grow a mapped section";
+    own_.push_back(value);
+    Sync();
+  }
+  void pop_back() {
+    HCD_CHECK(!mapped()) << "cannot shrink a mapped section";
+    own_.pop_back();
+    Sync();
+  }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const ArrayRef& a, const ArrayRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  /// Re-points the view at the owned vector. Every mutation of `own_`
+  /// ends with this, so the branch-free read accessors stay valid.
+  void Sync() {
+    ptr_ = own_.data();
+    size_ = own_.size();
+  }
+
+  std::vector<T> own_;            ///< owned storage (empty when aliased)
+  const T* ptr_ = nullptr;        ///< active storage, either mode
+  size_t size_ = 0;
+  std::shared_ptr<const MappedFile> backing_;  ///< null in owned mode
+};
+
+}  // namespace hcd
+
+#endif  // HCD_COMMON_MAPPED_FILE_H_

@@ -238,6 +238,34 @@ const FlatHcdIndex& HcdEngine::Flat() {
   return *flat_;
 }
 
+Status HcdEngine::AdoptFlat(std::shared_ptr<const FlatHcdIndex> flat) {
+  if (flat == nullptr) {
+    return Status::InvalidArgument("AdoptFlat: null index");
+  }
+  if (flat_ != nullptr) {
+    return Status::InvalidArgument(
+        "AdoptFlat: a flat index is already cached; adopt before the first "
+        "Flat() call");
+  }
+  if (flat->kind() != options_.hierarchy) {
+    return Status::InvalidArgument(
+        std::string("AdoptFlat: snapshot kind ") +
+        HierarchyKindName(flat->kind()) + " does not match engine hierarchy " +
+        HierarchyKindName(options_.hierarchy));
+  }
+  const VertexId index_graph_vertices = flat->kind() == HierarchyKind::kCore
+                                            ? flat->NumVertices()
+                                            : flat->NumGraphVertices();
+  if (index_graph_vertices != graph_->NumVertices()) {
+    return Status::InvalidArgument(
+        "AdoptFlat: snapshot covers " + std::to_string(index_graph_vertices) +
+        " graph vertices but the graph has " +
+        std::to_string(graph_->NumVertices()));
+  }
+  flat_ = std::move(flat);
+  return Status::Ok();
+}
+
 const ElementSearchIndex& HcdEngine::ElementSearcher() {
   if (!element_searcher_) {
     HCD_CHECK(options_.hierarchy != HierarchyKind::kCore)

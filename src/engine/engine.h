@@ -137,6 +137,16 @@ class HcdEngine {
   /// stats, export) serves from.
   const FlatHcdIndex& Flat();
 
+  /// Installs a prebuilt flat index (typically loaded or mmapped from a
+  /// snapshot via hcd/serialize.h) as the engine's Flat() stage, skipping
+  /// construction entirely. Fails with InvalidArgument if the index's kind
+  /// does not match options().hierarchy, if its graph-vertex domain does not
+  /// match the engine's graph, or if a flat index is already cached (built
+  /// or adopted) — adoption must happen before the first Flat() call.
+  /// Mapped indexes are shared as-is: the engine (and any snapshot sealed
+  /// from it) co-owns the mapping, no bytes are copied.
+  Status AdoptFlat(std::shared_ptr<const FlatHcdIndex> flat);
+
   /// Edge indexer of the graph (stage "truss.index"); the element
   /// substrate of truss and nucleus hierarchies. Computed on first call.
   const EdgeIndexer& Edges();

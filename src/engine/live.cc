@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -13,6 +14,10 @@ namespace {
 std::shared_ptr<const SnapshotState> BuildInitialState(
     Graph graph, const LiveEngineOptions& options) {
   HcdEngine engine(std::move(graph), options.engine);
+  if (options.initial_flat != nullptr) {
+    const Status s = engine.AdoptFlat(options.initial_flat);
+    HCD_CHECK(s.ok()) << "LiveEngine initial_flat rejected: " << s.message();
+  }
   return engine.Snapshot().state();
 }
 

@@ -103,6 +103,14 @@ class SnapshotReader {
 struct LiveEngineOptions {
   /// Options for the initial full build (algo, threads, telemetry).
   EngineOptions engine;
+  /// Optional prebuilt core flat index (loaded or mmapped from a snapshot)
+  /// adopted into the initial build, skipping hierarchy construction: the
+  /// engine still computes coreness over the graph, but the forest build +
+  /// freeze are replaced by the snapshot. Must be kCore and cover exactly
+  /// the graph's vertices (checked; mismatches abort the constructor). A
+  /// mapped index keeps its snapshot file mapped for as long as the initial
+  /// generation is referenced; later batches re-freeze into owned storage.
+  std::shared_ptr<const FlatHcdIndex> initial_flat;
   /// Dirty-vertex fraction above which a batch re-freezes the whole
   /// hierarchy instead of splicing (see RebuildOptions).
   double full_rebuild_threshold = 0.25;

@@ -12,7 +12,7 @@ namespace {
 
 /// Counting sort of node ids by descending level, ties by ascending id.
 /// Also emits the group boundaries (one group per distinct level).
-void BuildDescLevelOrder(const std::vector<uint32_t>& levels,
+void BuildDescLevelOrder(std::span<const uint32_t> levels,
                          std::vector<TreeNodeId>* order,
                          std::vector<uint32_t>* group_offsets) {
   const size_t num_nodes = levels.size();
@@ -416,7 +416,11 @@ FlatHcdIndex Freeze(const HcdForest& forest) {
       for (TreeNodeId c : kids) d.children[offset++] = old2new[c];
     });
 
-    BuildDescLevelOrder(d.levels, &d.desc_level_order, &d.level_group_offsets);
+    std::vector<TreeNodeId> order;
+    std::vector<uint32_t> group_offsets;
+    BuildDescLevelOrder(d.levels, &order, &group_offsets);
+    d.desc_level_order = std::move(order);
+    d.level_group_offsets = std::move(group_offsets);
   }
   return out;
 }
@@ -445,7 +449,8 @@ FlatHcdIndex Freeze(const HcdForest& forest, HierarchyKind kind,
       << "element member array must be arity-strided over every element id";
   d.kind = kind;
   d.num_graph_vertices = num_graph_vertices;
-  d.element_members.assign(element_members.begin(), element_members.end());
+  d.element_members =
+      std::vector<VertexId>(element_members.begin(), element_members.end());
   return out;
 }
 

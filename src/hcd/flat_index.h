@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/mapped_file.h"
 #include "common/status.h"
 #include "graph/types.h"
 #include "hcd/forest.h"
@@ -57,6 +58,12 @@ class FlatHcdIndex {
   /// hierarchies the "vertices" of this index are element ids (edges /
   /// triangles) and `element_members` materializes each element back to its
   /// member graph vertices with stride ElementArity(kind).
+  ///
+  /// Sections are storage-agnostic ArrayRefs: Freeze and the copying loader
+  /// produce owned (vector-backed) sections, while MapFlatIndex aliases the
+  /// snapshot's mmap'd bytes directly — same accessors, same bytes, zero
+  /// copies. Aliased sections co-own the mapping, so a Data (and any index
+  /// adopted from it) keeps the file mapped for as long as it lives.
   struct Data {
     HierarchyKind kind = HierarchyKind::kCore;
     VertexId num_vertices = 0;               // n (elements)
@@ -66,19 +73,29 @@ class FlatHcdIndex {
     /// [ElementArity(kind) * n] member vertices per element id, in canonical
     /// order (edge endpoints ascending, triangle corners ascending). Empty
     /// for kCore.
-    std::vector<VertexId> element_members;
-    std::vector<uint32_t> levels;            // [N] core level per node
-    std::vector<TreeNodeId> parents;         // [N] preorder parent; roots map
+    ArrayRef<VertexId> element_members;
+    ArrayRef<uint32_t> levels;               // [N] core level per node
+    ArrayRef<TreeNodeId> parents;            // [N] preorder parent; roots map
                                              //     to kInvalidNode
-    std::vector<TreeNodeId> subtree_nodes;   // [N] nodes in subtree (incl. t)
-    std::vector<uint32_t> child_offsets;     // [N+1] CSR into `children`
-    std::vector<TreeNodeId> children;        // [N-R] ascending within a node
-    std::vector<uint32_t> vertex_offsets;    // [N+1] CSR into `vertices`
-    std::vector<VertexId> vertices;          // [P] vertex sets in preorder
-    std::vector<TreeNodeId> tid;             // [n] vertex -> node
-    std::vector<TreeNodeId> desc_level_order;     // [N] level desc, id asc
-    std::vector<uint32_t> level_group_offsets;    // [G+1] into the above
-    std::vector<TreeNodeId> roots;           // [R] ascending preorder ids
+    ArrayRef<TreeNodeId> subtree_nodes;      // [N] nodes in subtree (incl. t)
+    ArrayRef<uint32_t> child_offsets;        // [N+1] CSR into `children`
+    ArrayRef<TreeNodeId> children;           // [N-R] ascending within a node
+    ArrayRef<uint32_t> vertex_offsets;       // [N+1] CSR into `vertices`
+    ArrayRef<VertexId> vertices;             // [P] vertex sets in preorder
+    ArrayRef<TreeNodeId> tid;                // [n] vertex -> node
+    ArrayRef<TreeNodeId> desc_level_order;        // [N] level desc, id asc
+    ArrayRef<uint32_t> level_group_offsets;       // [G+1] into the above
+    ArrayRef<TreeNodeId> roots;              // [R] ascending preorder ids
+
+    /// True when any section aliases a mapped snapshot.
+    bool mapped() const {
+      return element_members.mapped() || levels.mapped() ||
+             parents.mapped() || subtree_nodes.mapped() ||
+             child_offsets.mapped() || children.mapped() ||
+             vertex_offsets.mapped() || vertices.mapped() || tid.mapped() ||
+             desc_level_order.mapped() || level_group_offsets.mapped() ||
+             roots.mapped();
+    }
   };
 
   FlatHcdIndex() {
@@ -188,6 +205,10 @@ class FlatHcdIndex {
   /// Read-only view of the packed arrays; the v2 serializer writes these
   /// verbatim, which is what makes snapshots round-trip bit-identically.
   const Data& data() const { return data_; }
+
+  /// True when the sections alias a mapped snapshot (MapFlatIndex) rather
+  /// than owning their storage.
+  bool mapped() const { return data_.mapped(); }
 
  private:
   friend FlatHcdIndex Freeze(const HcdForest& forest);

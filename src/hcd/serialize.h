@@ -2,6 +2,7 @@
 #define HCD_HCD_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "hcd/flat_index.h"
@@ -50,6 +51,36 @@ Status SaveFlatIndex(const FlatHcdIndex& index, const std::string& path);
 /// section-by-section as whole arrays (v2 adopts as kCore); v1 files are
 /// loaded as a forest and converted via Freeze (the migration path).
 Status LoadFlatIndex(const std::string& path, FlatHcdIndex* index);
+
+/// Zero-copy load: mmaps the file read-only and aliases every v2/v3 section
+/// in place (the index's ArrayRefs co-own the mapping), after proving the
+/// file size matches the header-declared section layout exactly — a
+/// truncated or padded file fails with Status::Corruption before any byte
+/// past the header is touched, never with a fault. The aliased sections
+/// still funnel through FlatHcdIndex::Adopt, so every structural-corruption
+/// case the copying loader rejects is rejected here too. v1 files fall back
+/// to the copying LoadFlatIndex (they have no flat layout to alias). The
+/// resulting index answers bit-identically to a read-loaded one.
+Status MapFlatIndex(const std::string& path, FlatHcdIndex* index);
+
+/// How snapshot bytes reach memory: kRead copies them into owned arrays,
+/// kMmap aliases the mapped file (page-cache backed, shared across
+/// processes, demand-paged).
+enum class SnapshotMode {
+  kRead,
+  kMmap,
+};
+
+/// "read" / "mmap".
+const char* SnapshotModeName(SnapshotMode mode);
+
+/// Parses "read" / "mmap"; returns false (leaving `*mode` untouched) on
+/// anything else.
+bool ParseSnapshotMode(std::string_view text, SnapshotMode* mode);
+
+/// Dispatches to LoadFlatIndex or MapFlatIndex by mode.
+Status LoadFlatSnapshot(const std::string& path, SnapshotMode mode,
+                        FlatHcdIndex* index);
 
 }  // namespace hcd
 

@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mapped_file.h"
 
 #include "core/core_decomposition.h"
 #include "graph/generators.h"
@@ -364,13 +368,20 @@ class FlatSnapshotCorruption : public ::testing::Test {
 
   void TearDown() override { std::remove(path_.c_str()); }
 
-  /// Writes `bytes`, loads, and expects Corruption.
+  /// Writes `bytes` and expects Corruption from BOTH loaders: the copying
+  /// fread path and the zero-copy mmap path share the header / size
+  /// validation and the Adopt funnel, so every corruption fixture must be
+  /// rejected identically by each.
   void ExpectCorrupt(const std::vector<char>& bytes, const char* what) {
     WriteAll(path_, bytes);
     FlatHcdIndex loaded;
     Status s = LoadFlatIndex(path_, &loaded);
     EXPECT_EQ(s.code(), StatusCode::kCorruption)
-        << what << ": " << s.ToString();
+        << "read: " << what << ": " << s.ToString();
+    FlatHcdIndex mapped;
+    s = MapFlatIndex(path_, &mapped);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "mmap: " << what << ": " << s.ToString();
   }
 
   uint64_t HeaderWord(size_t i) const {
@@ -635,12 +646,17 @@ class FlatSnapshotV3Corruption : public ::testing::Test {
 
   void TearDown() override { std::remove(path_.c_str()); }
 
+  /// Rejection parity: both the copying and the mmap loader must refuse.
   void ExpectCorrupt(const std::vector<char>& bytes, const char* what) {
     WriteAll(path_, bytes);
     FlatHcdIndex loaded;
     Status s = LoadFlatIndex(path_, &loaded);
     EXPECT_EQ(s.code(), StatusCode::kCorruption)
-        << what << ": " << s.ToString();
+        << "read: " << what << ": " << s.ToString();
+    FlatHcdIndex mapped;
+    s = MapFlatIndex(path_, &mapped);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "mmap: " << what << ": " << s.ToString();
   }
 
   uint64_t HeaderWord(size_t i) const {
@@ -707,6 +723,143 @@ TEST_F(FlatSnapshotV3Corruption, TamperedMembersFailAdopt) {
   std::memcpy(bytes.data() + members_off, &b, sizeof(b));
   std::memcpy(bytes.data() + members_off + sizeof(b), &a, sizeof(a));
   ExpectCorrupt(bytes, "members not ascending");
+}
+
+// ---------------------------------------------------------------------------
+// Mapped snapshots: MapFlatIndex must be observably identical to
+// LoadFlatIndex everywhere except storage ownership.
+
+/// Saves `built`, loads it back through both loaders, and asserts the two
+/// results are bit-identical: every section element-equal, queries agree,
+/// and re-serializing the mapped index reproduces the input bytes.
+void ExpectMapMatchesRead(const FlatHcdIndex& built, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/flat_map_" + tag + ".bin";
+  ASSERT_TRUE(SaveFlatIndex(built, path).ok());
+
+  FlatHcdIndex read_loaded;
+  FlatHcdIndex mapped;
+  ASSERT_TRUE(LoadFlatIndex(path, &read_loaded).ok()) << tag;
+  ASSERT_TRUE(MapFlatIndex(path, &mapped).ok()) << tag;
+  EXPECT_FALSE(read_loaded.mapped()) << tag;
+  EXPECT_TRUE(mapped.mapped()) << tag;
+
+  const FlatHcdIndex::Data& a = read_loaded.data();
+  const FlatHcdIndex::Data& b = mapped.data();
+  EXPECT_EQ(a.kind, b.kind) << tag;
+  EXPECT_EQ(a.num_vertices, b.num_vertices) << tag;
+  EXPECT_EQ(a.num_graph_vertices, b.num_graph_vertices) << tag;
+  EXPECT_EQ(a.element_members, b.element_members) << tag;
+  EXPECT_EQ(a.levels, b.levels) << tag;
+  EXPECT_EQ(a.parents, b.parents) << tag;
+  EXPECT_EQ(a.subtree_nodes, b.subtree_nodes) << tag;
+  EXPECT_EQ(a.child_offsets, b.child_offsets) << tag;
+  EXPECT_EQ(a.children, b.children) << tag;
+  EXPECT_EQ(a.vertex_offsets, b.vertex_offsets) << tag;
+  EXPECT_EQ(a.vertices, b.vertices) << tag;
+  EXPECT_EQ(a.tid, b.tid) << tag;
+  EXPECT_EQ(a.desc_level_order, b.desc_level_order) << tag;
+  EXPECT_EQ(a.level_group_offsets, b.level_group_offsets) << tag;
+  EXPECT_EQ(a.roots, b.roots) << tag;
+  EXPECT_TRUE(HcdEquals(read_loaded, mapped)) << tag;
+
+  const std::string resaved = path + ".resaved";
+  ASSERT_TRUE(SaveFlatIndex(mapped, resaved).ok()) << tag;
+  EXPECT_EQ(ReadAll(path), ReadAll(resaved)) << tag;
+  std::remove(resaved.c_str());
+  std::remove(path.c_str());
+}
+
+class MappedSnapshotSuite
+    : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(MappedSnapshotSuite, MapBitIdenticalToReadForEveryKind) {
+  const Graph& g = GetParam().graph;
+  CoreDecomposition cd = BzCoreDecomposition(g);
+  ExpectMapMatchesRead(Freeze(NaiveHcdBuild(g, cd)),
+                       std::string(GetParam().name) + "_core");
+  ExpectMapMatchesRead(FreezeTrussOf(g),
+                       std::string(GetParam().name) + "_truss");
+  ExpectMapMatchesRead(FreezeNucleusOf(g),
+                       std::string(GetParam().name) + "_nucleus");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, MappedSnapshotSuite,
+    ::testing::ValuesIn(testing::StandardGraphSuite()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(FlatSnapshotMapped, V1FallsBackToCopyingMigration) {
+  // v1 files carry a builder stream, not flat sections — nothing to alias.
+  // MapFlatIndex must transparently hand them to the copying migrator.
+  Graph g = PlantedHierarchy(OnionSpec(4, 6), 7);
+  HcdForest forest = NaiveHcdBuild(g, BzCoreDecomposition(g));
+  const std::string path = ::testing::TempDir() + "/flat_map_v1.bin";
+  ASSERT_TRUE(SaveForest(forest, path).ok());
+
+  FlatHcdIndex migrated;
+  ASSERT_TRUE(MapFlatIndex(path, &migrated).ok());
+  EXPECT_FALSE(migrated.mapped());
+  EXPECT_TRUE(HcdEquals(forest, migrated));
+  std::remove(path.c_str());
+}
+
+TEST(FlatSnapshotMapped, SurvivesSourceFileUnlink) {
+  // POSIX keeps mapped pages alive after the last directory entry goes;
+  // a mapped index must stay fully queryable once the file is deleted.
+  const Graph g = PlantedHierarchy(BranchingSpec(2, 6, 2, 2, 3), 9);
+  const FlatHcdIndex built = Freeze(NaiveHcdBuild(g, BzCoreDecomposition(g)));
+  const std::string path = ::testing::TempDir() + "/flat_map_unlink.bin";
+  ASSERT_TRUE(SaveFlatIndex(built, path).ok());
+
+  FlatHcdIndex mapped;
+  ASSERT_TRUE(MapFlatIndex(path, &mapped).ok());
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  EXPECT_TRUE(HcdEquals(built, mapped));
+}
+
+TEST(FlatSnapshotMapped, ConcurrentReadersShareOneMapping) {
+  // One mapping, many readers: traversals and vertex-span scans from
+  // several threads against the same shared immutable pages. Runs under
+  // TSan in CI; any write into the mapped region or unsynchronized
+  // bookkeeping in ArrayRef/MappedFile shows up here.
+  const Graph g = PlantedHierarchy(BranchingSpec(2, 8, 2, 2, 4), 29);
+  const FlatHcdIndex built = Freeze(NaiveHcdBuild(g, BzCoreDecomposition(g)));
+  const std::string path = ::testing::TempDir() + "/flat_map_threads.bin";
+  ASSERT_TRUE(SaveFlatIndex(built, path).ok());
+
+  auto mapped = std::make_shared<FlatHcdIndex>();
+  ASSERT_TRUE(MapFlatIndex(path, mapped.get()).ok());
+  ASSERT_TRUE(mapped->mapped());
+
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> checksum{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([mapped, &checksum] {
+      uint64_t local = 0;
+      for (TreeNodeId node = 0; node < mapped->NumNodes(); ++node) {
+        local += mapped->Level(node);
+        for (const VertexId v : mapped->CoreVertices(node)) local += v;
+      }
+      for (VertexId v = 0; v < mapped->NumVertices(); ++v) {
+        local += mapped->Tid(v);
+      }
+      checksum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& r : readers) r.join();
+
+  uint64_t expect = 0;
+  for (TreeNodeId node = 0; node < built.NumNodes(); ++node) {
+    expect += built.Level(node);
+    for (const VertexId v : built.CoreVertices(node)) expect += v;
+  }
+  for (VertexId v = 0; v < built.NumVertices(); ++v) expect += built.Tid(v);
+  EXPECT_EQ(checksum.load(), kThreads * expect);
+  std::remove(path.c_str());
 }
 
 }  // namespace

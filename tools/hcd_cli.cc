@@ -159,6 +159,15 @@ int Usage() {
       "                           decomposition family to build and serve\n"
       "                           (default core; serve keeps answering core\n"
       "                           queries and adds the element index)\n"
+      "flags (export, query-bench, serve):\n"
+      "  --snapshot=FILE          serve a prebuilt flat snapshot (written\n"
+      "                           by `build`) instead of constructing the\n"
+      "                           hierarchy; kind must match --hierarchy\n"
+      "  --snapshot-mode=read|mmap\n"
+      "                           how snapshot bytes reach memory: copy\n"
+      "                           them in (read) or alias the mmap'd file\n"
+      "                           zero-copy (mmap). Default: read, except\n"
+      "                           serve, which defaults to mmap\n"
       "flags (live-bench):\n"
       "  --batch-size=N           edge updates per batch (default 100)\n"
       "  --batches=N              batches the writer applies (default 20)\n"
@@ -218,6 +227,12 @@ struct CliArgs {
   // --hierarchy (build / export / query-bench / serve only; rejected
   // elsewhere via `hierarchy_flag`).
   std::string hierarchy_flag;
+  // --snapshot / --snapshot-mode (export / query-bench / serve only;
+  // rejected elsewhere via `snapshot_flag`).
+  std::string snapshot_path;  ///< empty: build the hierarchy from the graph
+  hcd::SnapshotMode snapshot_mode = hcd::SnapshotMode::kRead;
+  bool snapshot_mode_set = false;  ///< --snapshot-mode given explicitly
+  std::string snapshot_flag;
 };
 
 bool MetricByName(const std::string& name, hcd::Metric* metric) {
@@ -488,6 +503,24 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
       }
       out->pipeline = static_cast<int>(window);
       if (out->server_flag.empty()) out->server_flag = arg;
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      out->snapshot_path = arg.substr(11);
+      if (out->snapshot_path.empty()) {
+        std::fprintf(stderr, "error: --snapshot needs a file path\n");
+        return false;
+      }
+      if (out->snapshot_flag.empty()) out->snapshot_flag = arg;
+    } else if (arg.rfind("--snapshot-mode=", 0) == 0) {
+      const std::string value = arg.substr(16);
+      if (!hcd::ParseSnapshotMode(value, &out->snapshot_mode)) {
+        std::fprintf(stderr,
+                     "error: bad --snapshot-mode value '%s' (want read or "
+                     "mmap)\n",
+                     value.c_str());
+        return false;
+      }
+      out->snapshot_mode_set = true;
+      if (out->snapshot_flag.empty()) out->snapshot_flag = arg;
     } else if (arg == "--no-cache") {
       out->no_cache = true;
       if (out->server_flag.empty()) out->server_flag = arg;
@@ -505,6 +538,26 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
     }
   }
   return true;
+}
+
+/// Honors --snapshot for the build-phase commands: loads the flat snapshot
+/// in the requested mode (default: copying read) and installs it as the
+/// engine's Flat() stage, so hierarchy construction is skipped and queries
+/// serve straight from the file's bytes (zero-copy under --snapshot-mode=
+/// mmap). No-op without --snapshot.
+Status AdoptSnapshotIfRequested(const CliArgs& args, HcdEngine* engine) {
+  if (args.snapshot_path.empty()) return Status::Ok();
+  const hcd::SnapshotMode mode =
+      args.snapshot_mode_set ? args.snapshot_mode : hcd::SnapshotMode::kRead;
+  hcd::FlatHcdIndex flat;
+  {
+    ScopedStage stage(engine->sink(), "load.snapshot");
+    Status s = hcd::LoadFlatSnapshot(args.snapshot_path, mode, &flat);
+    if (!s.ok()) return s;
+    stage.AddCounter("nodes", flat.NumNodes());
+  }
+  return engine->AdoptFlat(
+      std::make_shared<const hcd::FlatHcdIndex>(std::move(flat)));
 }
 
 /// Prints the shared JSON envelope: command, effective options, graph
@@ -680,6 +733,8 @@ int CmdExport(const CliArgs& args) {
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
+  s = AdoptSnapshotIfRequested(args, engine.get());
+  if (!s.ok()) return Fail(s);
   const hcd::FlatHcdIndex& flat = engine->Flat();
   {
     ScopedStage stage(engine->sink(), "serialize");
@@ -836,6 +891,8 @@ int CmdElementQueryBench(const CliArgs& args) {
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
   if (!s.ok()) return Fail(s);
+  s = AdoptSnapshotIfRequested(args, engine.get());
+  if (!s.ok()) return Fail(s);
   const hcd::ElementSearchIndex& index = engine->ElementSearcher();
   const hcd::FlatHcdIndex& flat = index.flat();
   const hcd::VertexId num_elements = flat.NumVertices();
@@ -918,6 +975,8 @@ int CmdQueryBench(const CliArgs& args) {
   }
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
+  if (!s.ok()) return Fail(s);
+  s = AdoptSnapshotIfRequested(args, engine.get());
   if (!s.ok()) return Fail(s);
 
   std::vector<hcd::Metric> workload = args.workload;
@@ -1234,20 +1293,63 @@ int CmdServe(const CliArgs& args) {
                  ? hcd::LoadBinary(args.pos[0], &graph)
                  : hcd::LoadEdgeListText(args.pos[0], &graph);
   if (!s.ok()) return Fail(s);
+  // --snapshot: load a prebuilt flat index instead of constructing the
+  // hierarchy at startup. Serving defaults to --snapshot-mode=mmap: the
+  // kernel pages the index in on demand and shares the page cache across
+  // restarts and processes, so the server is ready as soon as the graph is
+  // loaded and validation has run.
+  const hcd::SnapshotMode serve_mode =
+      args.snapshot_mode_set ? args.snapshot_mode : hcd::SnapshotMode::kMmap;
+  std::shared_ptr<const hcd::FlatHcdIndex> snapshot_flat;
+  if (!args.snapshot_path.empty()) {
+    hcd::FlatHcdIndex flat;
+    s = hcd::LoadFlatSnapshot(args.snapshot_path, serve_mode, &flat);
+    if (!s.ok()) return Fail(s);
+    snapshot_flat =
+        std::make_shared<const hcd::FlatHcdIndex>(std::move(flat));
+    if (snapshot_flat->kind() != args.options.hierarchy) {
+      return Fail(Status::InvalidArgument(
+          args.snapshot_path + ": snapshot kind " +
+          hcd::HierarchyKindName(snapshot_flat->kind()) +
+          " does not match --hierarchy=" +
+          hcd::HierarchyKindName(args.options.hierarchy)));
+    }
+    const hcd::VertexId covered =
+        snapshot_flat->kind() == hcd::HierarchyKind::kCore
+            ? snapshot_flat->NumVertices()
+            : snapshot_flat->NumGraphVertices();
+    if (covered != graph.NumVertices()) {
+      return Fail(Status::InvalidArgument(
+          args.snapshot_path + ": snapshot covers " + std::to_string(covered) +
+          " graph vertices but " + args.pos[0] + " has " +
+          std::to_string(graph.NumVertices())));
+    }
+  }
   // --hierarchy=truss|nucleus: build the element hierarchy up front (on a
   // copy of the graph — the live engine takes the original) and serve its
   // eager search index next to the core snapshots. The live manager keeps
   // publishing core generations; element requests route by their wire
-  // hierarchy byte.
+  // hierarchy byte. With --snapshot, the element index is built straight
+  // over the (typically mapped) snapshot — no decomposition runs at all.
   std::optional<HcdEngine> element_engine;
+  std::optional<hcd::ElementSearchIndex> snapshot_element_index;
   hcd::server::ServerOptions options;
   if (args.options.hierarchy != hcd::HierarchyKind::kCore) {
-    element_engine.emplace(Graph(graph), args.options);
-    options.element_index = &element_engine->ElementSearcher();
+    if (snapshot_flat != nullptr) {
+      snapshot_element_index.emplace(snapshot_flat, nullptr);
+      options.element_index = &*snapshot_element_index;
+    } else {
+      element_engine.emplace(Graph(graph), args.options);
+      options.element_index = &element_engine->ElementSearcher();
+    }
   }
   hcd::LiveEngineOptions live_options;
   live_options.engine = args.options;
   live_options.engine.hierarchy = hcd::HierarchyKind::kCore;
+  if (snapshot_flat != nullptr &&
+      snapshot_flat->kind() == hcd::HierarchyKind::kCore) {
+    live_options.initial_flat = snapshot_flat;
+  }
   hcd::LiveEngine live(std::move(graph), live_options);
 
   options.port = static_cast<uint16_t>(args.port);
@@ -1259,11 +1361,15 @@ int CmdServe(const CliArgs& args) {
   if (!s.ok()) return Fail(s);
 
   // The port line is the readiness signal scripts wait for; flush it.
-  const std::string hierarchy_note =
+  std::string hierarchy_note =
       options.element_index != nullptr
           ? std::string(", ") +
                 hcd::HierarchyKindName(args.options.hierarchy) + " index"
           : "";
+  if (snapshot_flat != nullptr) {
+    hierarchy_note +=
+        std::string(", snapshot ") + hcd::SnapshotModeName(serve_mode);
+  }
   std::printf("serving %s on 127.0.0.1:%u (%d workers, cache %s%s)\n",
               args.pos[0].c_str(), server.port(), server.workers(),
               options.cache ? "on" : "off", hierarchy_note.c_str());
@@ -1544,6 +1650,14 @@ int main(int argc, char** argv) {
                  "error: flag '%s' is only valid for build, export, "
                  "query-bench or serve\n",
                  args.hierarchy_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "export" && cmd != "query-bench" && cmd != "serve" &&
+      !args.snapshot_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: flag '%s' is only valid for export, query-bench "
+                 "or serve\n",
+                 args.snapshot_flag.c_str());
     return Usage();
   }
 
