@@ -13,8 +13,13 @@ hcd_server_requests_total, which must equal serve-bench's --queries).
 
 For .json files: checks the document parses and has the metrics envelope.
 
+A labeled histogram series (e.g. the per-phase
+hcd_server_phase_seconds{phase="search"} family the query server exports)
+can be asserted present-and-populated with --expect-histogram.
+
 Usage:
   check_metrics.py METRICS_FILE [--expect-histogram-count=NAME=N ...]
+                                [--expect-histogram=NAME{label=value} ...]
                                 [--expect-gauge=NAME[=VALUE] ...]
                                 [--expect-counter=NAME=N ...]
 
@@ -48,8 +53,28 @@ SAMPLE_RE = re.compile(
 )
 
 
+HISTOGRAM_SPEC_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[A-Za-z0-9_]+=[^,{}]+(?:,[A-Za-z0-9_]+=[^,{}]+)*)\})?$"
+)
+
+
+def parse_histogram_spec(spec: str):
+    """NAME{label=value,...} -> (name, {label: value}); labels optional."""
+    match = HISTOGRAM_SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"malformed --expect-histogram spec: {spec!r}")
+    labels = {}
+    if match.group("labels"):
+        for pair in match.group("labels").split(","):
+            key, _, value = pair.partition("=")
+            labels[key] = value.strip('"')
+    return match.group("name"), labels
+
+
 def check_prometheus(
-    path: str, expectations: dict, gauges: dict, counters: dict
+    path: str, expectations: dict, histograms: list, gauges: dict,
+    counters: dict
 ) -> int:
     with open(path) as f:
         lines = f.read().splitlines()
@@ -130,6 +155,28 @@ def check_prometheus(
             print(f"{family}: count {total} != expected {expected}")
             return 1
 
+    for name, want_labels in histograms:
+        if types.get(name) != "histogram":
+            print(f"{name}: expected a histogram, TYPE is {types.get(name)!r}")
+            return 1
+        # Any series of the family whose labels include every wanted pair
+        # satisfies the spec; it must also have observations.
+        matched = None
+        for (family, labels), total in counts.items():
+            if family != name:
+                continue
+            if all(f'{k}="{v}"' in labels for k, v in want_labels.items()):
+                matched = ((family, labels), total)
+                break
+        if matched is None:
+            rendered = ",".join(f"{k}={v}" for k, v in want_labels.items())
+            print(f"{name}{{{rendered}}}: histogram series not found")
+            return 1
+        if matched[1] == 0:
+            print(f"{matched[0][0]}{matched[0][1]}: histogram has no "
+                  "observations")
+            return 1
+
     for name, expected in gauges.items():
         if types.get(name) != "gauge":
             print(f"{name}: expected a gauge, TYPE is {types.get(name)!r}")
@@ -169,6 +216,15 @@ def main() -> int:
         help="unlabeled histogram NAME must have _count == N (repeatable)",
     )
     parser.add_argument(
+        "--expect-histogram",
+        action="append",
+        default=[],
+        metavar="NAME{label=value}",
+        help="histogram series with (at least) the given labels must exist "
+        "and have a nonzero _count; bare NAME matches any series of the "
+        "family (repeatable)",
+    )
+    parser.add_argument(
         "--expect-gauge",
         action="append",
         default=[],
@@ -189,6 +245,9 @@ def main() -> int:
     for spec in args.expect_histogram_count:
         name, _, value = spec.partition("=")
         expectations[name] = int(value)
+    histograms = []
+    for spec in args.expect_histogram:
+        histograms.append(parse_histogram_spec(spec))
     gauges = {}
     for spec in args.expect_gauge:
         name, sep, value = spec.partition("=")
@@ -200,11 +259,13 @@ def main() -> int:
         counters[name] = int(value)
 
     if args.metrics.endswith(".json"):
-        if expectations or gauges or counters:
+        if expectations or histograms or gauges or counters:
             print("--expect-* checks only apply to Prometheus files")
             return 2
         return check_json(args.metrics)
-    return check_prometheus(args.metrics, expectations, gauges, counters)
+    return check_prometheus(
+        args.metrics, expectations, histograms, gauges, counters
+    )
 
 
 if __name__ == "__main__":

@@ -6,9 +6,19 @@ event is a complete-span ("ph":"X") record with name/ts/dur/tid, and
 optionally that the trace covers enough distinct subsystems (the dotted
 prefix of the span name) and thread ids, and contains required span names.
 
+With --pair-trace the script additionally asserts that a client trace and
+a server trace describe the same requests: the wire trace ids carried by
+the client-side spans (--pair-client, default "client.query") must
+intersect the ids carried by the server-side spans (--pair-server,
+default "serve.request") across the two files, in at least
+--pair-min-shared requests. Both files contribute to both sides, so the
+flag works whether the client and server ran in one process or two.
+
 Usage:
   check_trace.py TRACE.json [--min-subsystems=N] [--min-tids=N]
                  [--require=SPAN_NAME ...]
+                 [--pair-trace=OTHER.json] [--pair-client=NAME]
+                 [--pair-server=NAME] [--pair-min-shared=N]
 
 Exits non-zero with a diagnostic on the first violated check.
 """
@@ -16,6 +26,26 @@ Exits non-zero with a diagnostic on the first violated check.
 import argparse
 import json
 import sys
+
+
+def load_events(path: str):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    return doc, events
+
+
+def span_trace_ids(events, span_name: str):
+    """The trace_id args of every event named `span_name` (as strings)."""
+    ids = set()
+    for event in events:
+        if event.get("name") != span_name:
+            continue
+        trace_id = event.get("args", {}).get("trace_id")
+        if trace_id is not None:
+            ids.add(str(trace_id))
+    ids.discard("0x0")  # an untraced request's id pairs with nothing
+    return ids
 
 
 def main() -> int:
@@ -29,15 +59,23 @@ def main() -> int:
         default=[],
         help="span name that must appear at least once (repeatable)",
     )
+    parser.add_argument(
+        "--pair-trace",
+        default=None,
+        metavar="OTHER.json",
+        help="second trace; client and server spans across the two files "
+        "must share wire trace ids",
+    )
+    parser.add_argument("--pair-client", default="client.query")
+    parser.add_argument("--pair-server", default="serve.request")
+    parser.add_argument("--pair-min-shared", type=int, default=1)
     args = parser.parse_args()
 
-    with open(args.trace) as f:
-        doc = json.load(f)
+    doc, events = load_events(args.trace)
 
     if doc.get("displayTimeUnit") != "ns":
         print(f"displayTimeUnit is {doc.get('displayTimeUnit')!r}, want 'ns'")
         return 1
-    events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         print("traceEvents missing or empty")
         return 1
@@ -71,6 +109,34 @@ def main() -> int:
         if required not in names:
             print(f"required span {required!r} not found in {sorted(names)}")
             return 1
+
+    if args.pair_trace is not None:
+        _, other = load_events(args.pair_trace)
+        if not isinstance(other, list):
+            print(f"{args.pair_trace}: traceEvents missing")
+            return 1
+        combined = events + other
+        client_ids = span_trace_ids(combined, args.pair_client)
+        server_ids = span_trace_ids(combined, args.pair_server)
+        if not client_ids:
+            print(f"no {args.pair_client!r} spans carry a trace_id arg")
+            return 1
+        if not server_ids:
+            print(f"no {args.pair_server!r} spans carry a trace_id arg")
+            return 1
+        shared = client_ids & server_ids
+        if len(shared) < args.pair_min_shared:
+            print(
+                f"only {len(shared)} trace ids shared between "
+                f"{args.pair_client!r} ({len(client_ids)} ids) and "
+                f"{args.pair_server!r} ({len(server_ids)} ids), "
+                f"want >= {args.pair_min_shared}"
+            )
+            return 1
+        print(
+            f"paired: {len(shared)} shared trace ids between "
+            f"{args.pair_client} and {args.pair_server}"
+        )
 
     print(
         f"OK: {len(events)} events, {len(subsystems)} subsystems "

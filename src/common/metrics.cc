@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -88,6 +89,47 @@ uint64_t Histogram::TotalCount() const {
 
 double Histogram::Sum() const {
   return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double HistogramBucketQuantile(
+    const uint64_t (&buckets)[Histogram::kNumFiniteBuckets + 1], double q) {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+    total += buckets[i];
+  }
+  if (total == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;  // NaN and negatives clamp to the minimum rank
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank definition: the smallest value with at least ceil(q * N)
+  // observations at or below it, matching LatencyRecorder::Quantile.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  rank = std::min(std::max<uint64_t>(rank, 1), total);
+  uint64_t below = 0;  // observations in buckets before the current one
+  for (size_t i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+    const uint64_t count = buckets[i];
+    if (below + count < rank) {
+      below += count;
+      continue;
+    }
+    if (i == Histogram::kNumFiniteBuckets) {
+      // Overflow has no upper bound; the largest finite bound is the best
+      // conservative answer.
+      return Histogram::BucketBound(Histogram::kNumFiniteBuckets - 1);
+    }
+    const double lower = i == 0 ? 0.0 : Histogram::BucketBound(i - 1);
+    const double upper = Histogram::BucketBound(i);
+    const double frac =
+        static_cast<double>(rank - below) / static_cast<double>(count);
+    return lower + (upper - lower) * frac;
+  }
+  return Histogram::BucketBound(Histogram::kNumFiniteBuckets - 1);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t buckets[kNumFiniteBuckets + 1];
+  for (size_t i = 0; i <= kNumFiniteBuckets; ++i) buckets[i] = BucketCount(i);
+  return HistogramBucketQuantile(buckets, q);
 }
 
 std::atomic<MetricsRegistry*> MetricsRegistry::current_{nullptr};

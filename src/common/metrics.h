@@ -75,10 +75,27 @@ class Histogram {
     return counts_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile in seconds (q in (0, 1]): the nearest-rank
+  /// observation's bucket is located by a cumulative walk, then the value
+  /// is linearly interpolated between the bucket's bounds by the rank's
+  /// position inside it. The estimate always lands inside the bucket that
+  /// holds the exact nearest-rank sample, so it is within one log bucket
+  /// (a factor of two) of the true value; ranks falling in the overflow
+  /// bucket report the largest finite bound. Returns 0 when empty.
+  double Quantile(double q) const;
+
  private:
   std::atomic<uint64_t> counts_[kNumFiniteBuckets + 1] = {};
   std::atomic<uint64_t> sum_ns_{0};
 };
+
+/// The quantile estimator behind Histogram::Quantile, over a raw
+/// non-cumulative bucket-count array laid out exactly like Histogram's
+/// (kNumFiniteBuckets finite buckets, then one overflow slot). Shared with
+/// rolling-window samples so a windowed bucket *delta* yields the same
+/// estimate the live histogram would have given over just that window.
+double HistogramBucketQuantile(
+    const uint64_t (&buckets)[Histogram::kNumFiniteBuckets + 1], double q);
 
 /// Process-wide registry of named instruments with Prometheus text
 /// exposition and JSON rendering. Instruments are created on first Get*

@@ -1,0 +1,74 @@
+#include "common/rolling_window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hcd {
+
+HistogramSample SampleHistogram(const Histogram& histogram) {
+  HistogramSample sample;
+  for (size_t i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+    sample.buckets[i] = histogram.BucketCount(i);
+  }
+  sample.sum_seconds = histogram.Sum();
+  return sample;
+}
+
+HistogramSample SubtractSample(const HistogramSample& newer,
+                               const HistogramSample& older) {
+  HistogramSample delta;
+  for (size_t i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+    delta.buckets[i] = newer.buckets[i] >= older.buckets[i]
+                           ? newer.buckets[i] - older.buckets[i]
+                           : 0;
+  }
+  delta.sum_seconds = std::max(newer.sum_seconds - older.sum_seconds, 0.0);
+  return delta;
+}
+
+double SampleQuantile(const HistogramSample& sample, double q) {
+  return HistogramBucketQuantile(sample.buckets, q);
+}
+
+RollingWindow::RollingWindow(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 2)) {}
+
+void RollingWindow::Push(WindowSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t RollingWindow::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+bool RollingWindow::Delta(size_t ticks_back, WindowSample* delta) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return false;
+  ticks_back = std::max<size_t>(ticks_back, 1);
+  const WindowSample& newest = ring_.back();
+  const size_t oldest_index =
+      ring_.size() - 1 >= ticks_back ? ring_.size() - 1 - ticks_back : 0;
+  const WindowSample& base = ring_[oldest_index];
+
+  delta->at_seconds = std::max(newest.at_seconds - base.at_seconds, 0.0);
+  delta->counters.assign(newest.counters.size(), 0);
+  for (size_t i = 0; i < newest.counters.size(); ++i) {
+    const uint64_t before = i < base.counters.size() ? base.counters[i] : 0;
+    delta->counters[i] =
+        newest.counters[i] >= before ? newest.counters[i] - before : 0;
+  }
+  delta->histograms.clear();
+  delta->histograms.reserve(newest.histograms.size());
+  static const HistogramSample kEmpty;
+  for (size_t i = 0; i < newest.histograms.size(); ++i) {
+    const HistogramSample& before =
+        i < base.histograms.size() ? base.histograms[i] : kEmpty;
+    delta->histograms.push_back(SubtractSample(newest.histograms[i], before));
+  }
+  return true;
+}
+
+}  // namespace hcd

@@ -1,0 +1,85 @@
+#ifndef HCD_COMMON_ROLLING_WINDOW_H_
+#define HCD_COMMON_ROLLING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace hcd {
+
+/// A point-in-time copy of one Histogram's buckets and sum. Samples of a
+/// live (still being observed) histogram are monotonic snapshots: each
+/// bucket is at least its value in any earlier sample, so the element-wise
+/// difference of two samples is itself a valid histogram — the
+/// observations that landed between the two sampling instants.
+struct HistogramSample {
+  uint64_t buckets[Histogram::kNumFiniteBuckets + 1] = {};
+  double sum_seconds = 0.0;
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+      total += buckets[i];
+    }
+    return total;
+  }
+};
+
+HistogramSample SampleHistogram(const Histogram& histogram);
+
+/// Element-wise `newer - older`, clamped at zero per bucket so a reader
+/// handed samples out of order degrades to an empty window instead of
+/// wrapping around.
+HistogramSample SubtractSample(const HistogramSample& newer,
+                               const HistogramSample& older);
+
+/// Same estimator as Histogram::Quantile, over a sample (typically a
+/// windowed delta).
+double SampleQuantile(const HistogramSample& sample, double q);
+
+/// One cumulative observation of a set of counters and histograms, stamped
+/// with the capture time. The meaning of each slot is the pusher's
+/// convention; RollingWindow only subtracts positionally.
+struct WindowSample {
+  double at_seconds = 0.0;  ///< monotonic capture time
+  std::vector<uint64_t> counters;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Fixed-capacity ring of cumulative samples pushed at a steady cadence by
+/// one ticker thread; readers derive rate/quantile windows as the delta
+/// between the newest sample and one a fixed number of ticks back. Keeping
+/// cumulative samples (rather than per-tick increments) makes any window
+/// size up to the capacity a single subtraction, and makes a missed tick
+/// harmless — the next delta simply spans slightly longer, and the
+/// reported `at_seconds` span stays truthful. Thread-safe; pushes are rare
+/// (one per tick) so a plain mutex suffices.
+class RollingWindow {
+ public:
+  /// `capacity` bounds retained samples; 61 one-second ticks covers a 60 s
+  /// window with the endpoint sample included.
+  explicit RollingWindow(size_t capacity = 61);
+
+  void Push(WindowSample sample);
+  size_t Size() const;
+
+  /// The delta between the newest sample and the one `ticks_back` before
+  /// it (clamped to the oldest retained). `delta->at_seconds` is the real
+  /// time spanned. False (and `*delta` untouched) with fewer than two
+  /// samples. Counter/histogram vectors shorter in the older sample are
+  /// treated as zero-filled, so instruments added between ticks start
+  /// counting from their first full window.
+  bool Delta(size_t ticks_back, WindowSample* delta) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<WindowSample> ring_;
+};
+
+}  // namespace hcd
+
+#endif  // HCD_COMMON_ROLLING_WINDOW_H_

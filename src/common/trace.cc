@@ -34,6 +34,13 @@ std::string NsToMicrosJson(uint64_t ns) {
 
 }  // namespace
 
+std::string TraceIdHex(uint64_t id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 std::atomic<Tracer*> Tracer::current_{nullptr};
 
 Tracer::Tracer(size_t max_spans_per_thread)
@@ -106,12 +113,28 @@ std::vector<TraceSpanRecord> Tracer::CollectSpans() const {
 
 std::vector<TraceSpanRecord> Tracer::Drain() {
   std::vector<TraceSpanRecord> out = CollectSpans();
+  PublishDroppedSpans();
   std::lock_guard<std::mutex> lock(register_mu_);
   for (auto& buffer : buffers_) {
     buffer->spans.clear();
     buffer->published.store(0, std::memory_order_release);
   }
   return out;
+}
+
+void Tracer::PublishDroppedSpans() {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  const uint64_t delta = total - published_dropped_;
+  if (delta == 0) return;
+  if (MetricsRegistry* registry = MetricsRegistry::Current()) {
+    registry
+        ->GetCounter("hcd_trace_dropped_spans_total",
+                     "Trace spans discarded by full per-thread buffers.")
+        ->Increment(delta);
+    published_dropped_ = total;
+  }
 }
 
 std::string Tracer::ToChromeJson() const {

@@ -97,8 +97,17 @@ class Tracer {
 
   /// Collects every span and resets all buffers (registered threads keep
   /// their buffers and trace ids). Quiescent-only; lets a long-lived server
-  /// ship trace chunks periodically without unbounded growth.
+  /// ship trace chunks periodically without unbounded growth. Also
+  /// publishes drop counts (see PublishDroppedSpans).
   std::vector<TraceSpanRecord> Drain();
+
+  /// Publishes the spans dropped by full buffers since the last publish
+  /// into the installed metrics registry's `hcd_trace_dropped_spans_total`
+  /// counter (no-op without a registry; TotalDropped() keeps the lifetime
+  /// figure either way). Drain() calls this; export paths that keep their
+  /// spans (WriteChromeJson at CLI exit) call it directly so a metrics
+  /// dump accounts for overflow even when nothing drained. Quiescent-only.
+  void PublishDroppedSpans();
 
   /// `{"displayTimeUnit":"ns","traceEvents":[...]}` with one complete
   /// ("ph":"X") event per span: ts/dur in fractional microseconds, tid the
@@ -132,7 +141,13 @@ class Tracer {
   const uint64_t epoch_ns_;      ///< steady-clock origin of ts_ns
   mutable std::mutex register_mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  uint64_t published_dropped_ = 0;  ///< drops already sent to the registry
 };
+
+/// "0x<hex>" rendering for request trace ids in span args and structured
+/// logs. A string survives JSON round trips exactly; a u64 above 2^53
+/// would lose bits as a JSON number in Perfetto and friends.
+std::string TraceIdHex(uint64_t id);
 
 /// RAII span: captures the start time on construction and records a
 /// completed span on destruction. With a null tracer every member is a

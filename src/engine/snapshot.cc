@@ -19,10 +19,12 @@ std::shared_ptr<const SnapshotState> SnapshotState::Create(
 }
 
 SearchHit QuerySnapshot::Search(Metric metric, SearchWorkspace* ws,
-                                TelemetrySink* sink) const {
+                                TelemetrySink* sink,
+                                uint64_t trace_id) const {
   // One span per served query, on the serving thread's own timeline, so a
   // trace of a multi-threaded bench shows per-thread query interleaving.
   ScopedSpan span("serve.query");
+  if (trace_id != 0) span.AddArg("trace_id", TraceIdHex(trace_id));
   span.AddArg("metric", std::string(MetricName(metric)));
   span.AddArg("epoch", state_->epoch());
   ScopedStage stage(sink, "search.score");

@@ -117,9 +117,11 @@ class QuerySnapshot {
   /// workspace is warm, no shared mutable state — safe to call from many
   /// threads at once. With a sink, records a "search.score" stage (counter:
   /// nodes); concurrent callers must pass a thread-safe sink
-  /// (ConcurrentTelemetrySink).
+  /// (ConcurrentTelemetrySink). A nonzero `trace_id` is attached to the
+  /// "serve.query" span (as "0x<hex>" text), tying a self-mode bench query
+  /// to the same request-scoped id scheme the wire server uses.
   SearchHit Search(Metric metric, SearchWorkspace* ws,
-                   TelemetrySink* sink = nullptr) const;
+                   TelemetrySink* sink = nullptr, uint64_t trace_id = 0) const;
 
   /// Allocating convenience wrapper: same scores and best node as the
   /// workspace overload, returned as a self-contained SearchResult.

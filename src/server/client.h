@@ -2,6 +2,7 @@
 #define HCD_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "common/status.h"
@@ -18,6 +19,15 @@ namespace hcd::server {
 /// flight before the matching ReadQueryResponse calls, and the server
 /// answers strictly in order — a batch of queries then costs one round
 /// trip. Query() is the one-at-a-time convenience wrapper.
+///
+/// With a Tracer installed, SendQuery stamps each request with a fresh
+/// nonzero trace id (unless the caller set one) and ReadQueryResponse
+/// records a `client.query` span covering send-to-answer, carrying the
+/// same id — so a client trace and the server's trace of the same run pair
+/// up per request in one Perfetto view. Because answers arrive in send
+/// order, pipelined requests match their spans through a FIFO of in-flight
+/// send stamps; install or uninstall the tracer only between requests, not
+/// while any are in flight. Without a tracer all of this is skipped.
 class QueryClient {
  public:
   QueryClient() = default;
@@ -49,11 +59,24 @@ class QueryClient {
   /// error.
   Status FetchMetrics(std::string* text);
 
+  /// Fetches the server's live-stats JSON snapshot (the kStats message:
+  /// rolling windows plus lifetime totals). Same error contract as
+  /// FetchMetrics.
+  Status FetchStats(std::string* json);
+
  private:
+  /// One pipelined request awaiting its answer, for client-side spans.
+  struct InflightRequest {
+    uint64_t trace_id = 0;
+    bool sampled = false;
+    uint64_t sent_ns = 0;  ///< tracer-epoch send time
+  };
+
   Status WriteFrame(std::string_view payload);
   Status ReadFrame(std::string* payload);
 
   int fd_ = -1;
+  std::deque<InflightRequest> inflight_;  ///< only populated while tracing
 };
 
 }  // namespace hcd::server

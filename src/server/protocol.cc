@@ -84,7 +84,7 @@ double DoubleFromBits(uint64_t bits) {
 
 std::string EncodeQueryRequest(const QueryRequest& request) {
   std::string out;
-  out.reserve(15 + 4 * request.vertices.size());
+  out.reserve(24 + 4 * request.vertices.size());
   AppendU8(&out, static_cast<uint8_t>(MessageType::kQuery));
   AppendU8(&out, static_cast<uint8_t>(request.metric));
   AppendU8(&out, static_cast<uint8_t>(request.hierarchy));
@@ -92,12 +92,22 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   AppendU32(&out, request.max_return_vertices);
   AppendU32(&out, static_cast<uint32_t>(request.vertices.size()));
   for (const VertexId v : request.vertices) AppendU32(&out, v);
+  if (request.trace_id != 0) {
+    AppendU64(&out, request.trace_id);
+    AppendU8(&out, request.sampled ? 1 : 0);
+  }
   return out;
 }
 
 std::string EncodeMetricsRequest() {
   std::string out;
   AppendU8(&out, static_cast<uint8_t>(MessageType::kMetrics));
+  return out;
+}
+
+std::string EncodeStatsRequest() {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(MessageType::kStats));
   return out;
 }
 
@@ -135,7 +145,8 @@ bool DecodeRequestType(std::string_view payload, MessageType* out) {
   if (payload.empty()) return false;
   const uint8_t type = static_cast<uint8_t>(payload[0]);
   if (type != static_cast<uint8_t>(MessageType::kQuery) &&
-      type != static_cast<uint8_t>(MessageType::kMetrics)) {
+      type != static_cast<uint8_t>(MessageType::kMetrics) &&
+      type != static_cast<uint8_t>(MessageType::kStats)) {
     return false;
   }
   *out = static_cast<MessageType>(type);
@@ -157,13 +168,27 @@ bool DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
     return false;
   }
   // The length prefix already bounds the frame, so the count can lie at
-  // most kMaxPayloadBytes/4 — but it must match the bytes actually sent.
-  if (reader.Rest().size() != size_t{num_vertices} * 4) return false;
+  // most kMaxPayloadBytes/4 — but it must match the bytes actually sent:
+  // exactly the vertex array (version 1), or the vertex array plus the
+  // nine-byte trace context (version 2).
+  const size_t vertex_bytes = size_t{num_vertices} * 4;
+  const size_t rest = reader.Rest().size();
+  if (rest != vertex_bytes && rest != vertex_bytes + 9) return false;
   out->metric = kAllMetrics[metric];
   out->hierarchy = static_cast<HierarchyKind>(hierarchy);
   out->vertices.resize(num_vertices);
   for (uint32_t i = 0; i < num_vertices; ++i) {
     if (!reader.ReadU32(&out->vertices[i])) return false;
+  }
+  out->trace_id = 0;
+  out->sampled = false;
+  if (!reader.AtEnd()) {
+    uint8_t sampled = 0;
+    if (!reader.ReadU64(&out->trace_id) || !reader.ReadU8(&sampled) ||
+        sampled > 1) {
+      return false;
+    }
+    out->sampled = sampled != 0;
   }
   return reader.AtEnd();
 }

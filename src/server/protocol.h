@@ -33,6 +33,18 @@ namespace hcd::server {
 ///   u32 max_return_vertices     (cap on vertices echoed back)
 ///   u32 num_vertices
 ///   u32 vertices[num_vertices]
+///   -- optionally (trace context, frame version 2):
+///   u64 trace_id                (nonzero request-scoped id)
+///   u8  sampled                 (0 or 1)
+///
+/// The trace context is a strictly optional tail: a version-1 frame ends
+/// at the vertex array and decodes with trace_id == 0, so old clients keep
+/// working against new servers; a version-2 frame carries exactly nine
+/// more bytes. Any other tail length (or a sampled byte > 1) is malformed.
+/// The trace id never enters the cache key — it names the request, not the
+/// question — and servers attach it to every span recorded for the
+/// request, so one Perfetto view lines up the client's and the server's
+/// lanes of the same query.
 ///
 /// Query semantics for hierarchy == core: with an empty vertex set, the
 /// best-scoring k-core under `metric` over all tree nodes of level >= k
@@ -64,11 +76,16 @@ namespace hcd::server {
 ///   u32 vertices[num_vertices]
 ///   -- status == kOk, answering kMetrics:
 ///   the Prometheus text exposition, raw bytes to end of frame
+///   -- status == kOk, answering kStats:
+///   the server's live-stats JSON snapshot (rolling 1s/10s/60s windows of
+///   QPS, error/shed/cache-hit rates and per-phase latency quantiles, plus
+///   lifetime totals), raw bytes to end of frame
 ///   -- status == kOverloaded / kBadRequest: nothing further; an
 ///   overloaded server sends this frame right after accept and closes.
 enum class MessageType : uint8_t {
   kQuery = 1,
   kMetrics = 2,
+  kStats = 3,
 };
 
 enum class ResponseStatus : uint8_t {
@@ -88,6 +105,10 @@ struct QueryRequest {
   uint32_t k = 0;
   uint32_t max_return_vertices = 0;
   std::vector<VertexId> vertices;
+  /// Request-scoped trace context; 0 means "none" and encodes as a
+  /// version-1 frame with no trailing trace bytes.
+  uint64_t trace_id = 0;
+  bool sampled = false;
 };
 
 struct QueryResponse {
@@ -105,6 +126,7 @@ struct QueryResponse {
 
 std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodeMetricsRequest();
+std::string EncodeStatsRequest();
 std::string EncodeQueryResponse(const QueryResponse& response);
 std::string EncodeMetricsResponse(std::string_view prometheus_text);
 /// The one-byte shed/bad-request frames.
@@ -116,7 +138,9 @@ std::string EncodeStatusOnlyResponse(ResponseStatus status);
 bool DecodeRequestType(std::string_view payload, MessageType* out);
 bool DecodeQueryRequest(std::string_view payload, QueryRequest* out);
 bool DecodeQueryResponse(std::string_view payload, QueryResponse* out);
-/// Splits a response payload into status + metrics text.
+/// Splits a response payload into status + text. Shared by the kMetrics
+/// and kStats responses, whose payloads are shaped identically (one status
+/// byte, then the document to end of frame).
 bool DecodeMetricsResponse(std::string_view payload, ResponseStatus* status,
                            std::string* text);
 
@@ -126,7 +150,9 @@ void AppendFrame(std::string* out, std::string_view payload);
 /// The canonical cache key of a query: metric, hierarchy, k and the
 /// sorted, deduplicated vertex set, packed as bytes. Two requests that
 /// must receive the same answer on one snapshot produce the same key
-/// regardless of vertex order or duplicates.
+/// regardless of vertex order or duplicates. The trace context is
+/// deliberately excluded — it identifies the request, not the question, so
+/// traced and untraced askers of the same query share a cache entry.
 std::string CacheKeyFor(const QueryRequest& request);
 
 }  // namespace hcd::server

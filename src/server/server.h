@@ -11,13 +11,16 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rolling_window.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/live.h"
 #include "engine/snapshot.h"
 #include "search/element_search.h"
 #include "search/search_index.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/slow_log.h"
 
 namespace hcd::server {
 
@@ -89,6 +92,22 @@ struct ServerOptions {
   /// what the server has loaded. The index is static across publishes —
   /// its answers are cached under the current core-snapshot epoch.
   const ElementSearchIndex* element_index = nullptr;
+  /// Slow-query logging: with a non-empty `slow_log_path`, a request whose
+  /// total (queue wait + work) exceeds `slow_query_ms` milliseconds
+  /// appends one JSONL record (0 logs every request; negative disables
+  /// the threshold entirely, leaving only sampling).
+  double slow_query_ms = -1.0;
+  std::string slow_log_path;
+  /// Deterministic always-sample riding on the slow log: every Nth request
+  /// (by the global request counter) logs with reason "sampled" even when
+  /// fast, so the log shows the healthy baseline next to the outliers.
+  /// 0 disables sampling.
+  int slow_log_sample_every = 1024;
+  /// Cadence of the rolling-window ticker behind the kStats message, in
+  /// milliseconds. The window ring holds 61 ticks, so at the default
+  /// 1000 ms the "60-tick" window spans one minute. Tests shrink this to
+  /// exercise windows without sleeping for real minutes.
+  int stats_tick_millis = 1000;
 };
 
 /// Counters mirrored into the metrics registry (kept as plain atomics too
@@ -97,6 +116,7 @@ struct ServerStats {
   uint64_t requests = 0;       ///< query requests answered
   uint64_t cache_hits = 0;     ///< answered from the result cache
   uint64_t metrics_requests = 0;
+  uint64_t stats_requests = 0; ///< kStats snapshots served
   uint64_t bad_requests = 0;   ///< malformed frames (connection closed)
   uint64_t shed = 0;           ///< connections refused by admission control
   uint64_t connections = 0;    ///< connections handed to workers
@@ -114,12 +134,28 @@ struct ServerStats {
 /// wholesale per shard on first sight of the new epoch.
 ///
 /// With a MetricsRegistry installed, Start() resolves (once, never per
-/// request): counters hcd_server_requests_total,
-/// hcd_server_cache_hits_total, hcd_server_overload_total,
-/// hcd_server_bad_requests_total, and the hcd_query_latency_seconds
-/// histogram family (one unlabeled series plus one {metric=...} child per
-/// metric). The kMetrics endpoint serves the installed registry's
+/// request, and before any server thread exists so the registry can never
+/// drift from the plain-atomic ServerStats mirror): counters
+/// hcd_server_requests_total, hcd_server_cache_hits_total,
+/// hcd_server_overload_total, hcd_server_bad_requests_total,
+/// hcd_server_slow_log_dropped_total, hcd_trace_dropped_spans_total, the
+/// hcd_query_latency_seconds histogram family (one unlabeled series plus
+/// one {metric=...} child per metric), the per-phase
+/// hcd_server_phase_seconds{phase=queue|decode|cache|search|encode}
+/// histograms, and the hcd_server_queue_depth / hcd_server_inflight
+/// gauges. The kMetrics endpoint serves the installed registry's
 /// Prometheus rendering.
+///
+/// Request-scoped observability (docs/OBSERVABILITY.md "Request-scoped
+/// serving"): every query is timed with consecutive monotonic stamps so
+/// its decode/cache/search/encode phases sum exactly to its wall time
+/// (plus the connection's pending-queue wait, attributed to the first
+/// request). The per-phase histograms and an internal always-on mirror
+/// feed both the slow-query log and the kStats rolling windows; with a
+/// Tracer installed each request additionally records a `serve.request`
+/// span plus one span per phase, all carrying the request's wire trace id,
+/// so the client's `client.query` lane and the server's lanes pair up in
+/// one Perfetto view.
 class QueryServer {
  public:
   /// The manager must outlive the server. Does not listen yet.
@@ -147,31 +183,88 @@ class QueryServer {
   ServerStats stats() const;
   /// Null when ServerOptions::cache is false.
   const ResultCache* cache() const { return cache_.get(); }
+  /// Null unless ServerOptions::slow_log_path is set.
+  const SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
+  /// The kStats JSON document: lifetime totals plus rolling 1/10/60-tick
+  /// windows of QPS, error/shed/cache-hit rates and per-phase latency
+  /// quantiles derived from windowed histogram deltas. Callable from any
+  /// thread while the server runs (the wire kStats handler is exactly
+  /// this).
+  std::string RenderStatsJson() const;
+
+  /// Request phases in wire/report order; indexes the phase histograms.
+  enum Phase { kQueue = 0, kDecode, kCache, kSearch, kEncode, kNumPhases };
+  static const char* PhaseName(int phase);
 
  private:
-  /// Per-metric histogram pointers indexed by Metric value, resolved at
-  /// Start so the per-request path performs zero registry lookups.
+  /// Instrument pointers resolved once at Start so the per-request path
+  /// performs zero registry lookups (latency_by_metric indexed by Metric
+  /// value, phases by Phase).
   struct Instruments {
     Counter* requests = nullptr;
     Counter* cache_hits = nullptr;
     Counter* overload = nullptr;
     Counter* bad_requests = nullptr;
+    Counter* slow_log_dropped = nullptr;
     Histogram* latency = nullptr;
     std::vector<Histogram*> latency_by_metric;
+    Histogram* phases[kNumPhases] = {};
+    Gauge* queue_depth = nullptr;
+    Gauge* inflight = nullptr;
+  };
+
+  /// One accepted connection waiting for a worker, stamped at admission
+  /// so the worker that pops it can attribute the queue wait.
+  struct PendingConn {
+    int fd = -1;
+    uint64_t enqueue_ns = 0;
+  };
+
+  /// Worker-owned serve state, created once per worker lifetime and
+  /// reused across connections and requests (the RequestTimings scratch is
+  /// the "reusable per-worker" struct the slow log and spans fill from).
+  struct WorkerContext {
+    explicit WorkerContext(const SnapshotManager& manager)
+        : reader(manager) {}
+    SnapshotReader reader;
+    SearchWorkspace ws;
+    ElementWorkspace ews;
+    RequestTimings timings;
+    uint64_t conn_enqueue_ns = 0;  ///< current connection's admission stamp
+    uint64_t conn_queue_ns = 0;    ///< its pending-queue wait
+    uint64_t queue_depth = 0;      ///< pending depth seen when it was popped
+    bool first_request = false;    ///< queue wait not yet attributed
   };
 
   void AcceptLoop();
   void WorkerLoop();
+  void StatsTickerLoop();
+  /// One cumulative sample of the window counters and histograms.
+  WindowSample CaptureSample() const;
   /// Serves one connection to completion; returns on EOF, error, or stop.
-  void ServeConnection(int fd, SnapshotReader* reader, SearchWorkspace* ws,
-                       ElementWorkspace* ews);
-  /// Answers one already-decoded query request on `fd`.
-  bool AnswerQuery(int fd, const QueryRequest& request, SnapshotReader* reader,
-                   SearchWorkspace* ws, ElementWorkspace* ews);
+  void ServeConnection(int fd, WorkerContext* ctx);
+  /// Answers one already-decoded query request on `fd`. `t0`/`t1` continue
+  /// the caller's stamp chain (frame read done / decode done) on the clock
+  /// `tracer` implies, so phase durations sum exactly to the total.
+  bool AnswerQuery(int fd, const QueryRequest& request, WorkerContext* ctx,
+                   uint64_t t0, uint64_t t1, Tracer* tracer);
+  /// Post-response bookkeeping: phase histograms, spans, slow log. The
+  /// request/hit counters are incremented by the caller BEFORE the
+  /// response is written (so an exact count fetched over the wire never
+  /// under-reads); `seq` is that increment's 1-based sequence number,
+  /// which keys the deterministic slow-log sampling. `stamps` holds the
+  /// request's five consecutive clock stamps t0..t4 (frame read /
+  /// decoded / cache resolved / scored / response written).
+  void RecordRequestObservability(const QueryRequest& request,
+                                  const QueryResponse& response,
+                                  WorkerContext* ctx, uint64_t seq,
+                                  const uint64_t stamps[5], Tracer* tracer);
 
   const SnapshotManager* manager_;
   ServerOptions options_;
   std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
   Instruments instruments_;
 
   int listen_fd_ = -1;
@@ -179,20 +272,34 @@ class QueryServer {
   std::atomic<bool> stop_{false};
   bool started_ = false;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;   ///< accepted fds awaiting a worker
+  std::deque<PendingConn> pending_;  ///< accepted conns awaiting a worker
   size_t idle_workers_ = 0;   ///< workers parked in WorkerLoop's wait
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+  std::thread stats_ticker_;
+  mutable std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+
+  /// Always-on mirrors of the latency and phase histograms (observed next
+  /// to the registry instruments): the kStats windows and totals read
+  /// these, so live introspection works with or without a registry.
+  Histogram latency_hist_;
+  Histogram phase_hist_[kNumPhases];
+  RollingWindow windows_;
+  uint64_t start_steady_ns_ = 0;   ///< uptime origin
+  uint64_t start_unix_ms_ = 0;     ///< wall-clock stamp of Start()
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> metrics_requests_{0};
+  std::atomic<uint64_t> stats_requests_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> connections_{0};
+  std::atomic<int64_t> inflight_{0};  ///< requests between decode and write
 };
 
 }  // namespace hcd::server

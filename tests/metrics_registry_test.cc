@@ -1,5 +1,6 @@
 // Tests for the metrics registry: instrument identity, histogram
-// bucketing, concurrent observation, and both render formats.
+// bucketing, quantile estimation, concurrent observation, and both render
+// formats.
 
 #include <gtest/gtest.h>
 
@@ -7,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/metrics.h"
+#include "common/random.h"
 #include "tests/test_util.h"
 
 namespace hcd {
@@ -74,6 +77,85 @@ TEST(Histogram, ConcurrentObservesLoseNothing) {
   for (std::thread& worker : pool) worker.join();
   EXPECT_EQ(h.TotalCount(),
             static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// The log bucket a value of `seconds` lands in (first bound >= value),
+// kNumFiniteBuckets for overflow — the granularity at which the estimator
+// is allowed to disagree with an exact quantile.
+size_t BucketIndexOf(double seconds) {
+  for (size_t i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
+    if (seconds <= Histogram::BucketBound(i)) return i;
+  }
+  return Histogram::kNumFiniteBuckets;
+}
+
+TEST(HistogramQuantile, EmptyHistogramAnswersZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesWithinItsBounds) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Observe(3e-6);  // all in (2us, 4us]
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    const double estimate = h.Quantile(q);
+    EXPECT_GT(estimate, 2e-6) << "q=" << q;
+    EXPECT_LE(estimate, 4e-6) << "q=" << q;
+  }
+  // Interpolation is monotone in q within the bucket.
+  EXPECT_LT(h.Quantile(0.1), h.Quantile(0.9));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4e-6);  // full rank reaches the bound
+}
+
+TEST(HistogramQuantile, DegenerateQClampsToTheExtremes) {
+  Histogram h;
+  h.Observe(0.5e-6);
+  h.Observe(100e-6);
+  // q <= 0 (and NaN) answer the minimum rank; q > 1 clamps to the max.
+  EXPECT_LE(h.Quantile(0.0), 1e-6);
+  EXPECT_LE(h.Quantile(-3.0), 1e-6);
+  EXPECT_GT(h.Quantile(7.0), 64e-6);
+}
+
+TEST(HistogramQuantile, OverflowRankAnswersTheLargestFiniteBound) {
+  Histogram h;
+  h.Observe(1e-6);
+  h.Observe(1e9);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0),
+                   Histogram::BucketBound(Histogram::kNumFiniteBuckets - 1));
+}
+
+// The estimator against ground truth: Quantile must land in the same log
+// bucket as the exact nearest-rank value computed by the benchmark
+// LatencyRecorder from the identical samples. (Bit-equality is impossible
+// — the histogram only keeps bucket counts — but "within one bucket" is
+// the precision kStats promises.)
+TEST(HistogramQuantile, AgreesWithLatencyRecorderWithinOneBucket) {
+  Histogram h;
+  bench::LatencyRecorder exact;
+  Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform-ish spread over 1us..~100ms, the serving latency range.
+    const double us =
+        static_cast<double>(1 + rng.Uniform(100)) *
+        static_cast<double>(uint64_t{1} << rng.Uniform(11));
+    const double seconds = us * 1e-6;
+    h.Observe(seconds);
+    exact.Record(seconds);
+  }
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double estimate = h.Quantile(q);
+    const double truth = exact.Quantile(q);
+    EXPECT_EQ(BucketIndexOf(estimate), BucketIndexOf(truth))
+        << "q=" << q << " estimate=" << estimate << " truth=" << truth;
+    // And the estimate never leaves the truth's bucket bounds.
+    const size_t bucket = BucketIndexOf(truth);
+    const double lower =
+        bucket == 0 ? 0.0 : Histogram::BucketBound(bucket - 1);
+    EXPECT_GT(estimate, lower) << "q=" << q;
+    EXPECT_LE(estimate, Histogram::BucketBound(bucket)) << "q=" << q;
+  }
 }
 
 TEST(MetricsRegistry, SameNameAndLabelsReturnTheSameInstrument) {

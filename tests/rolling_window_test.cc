@@ -1,0 +1,176 @@
+// Tests for the rolling-window sample ring behind the server's kStats
+// message: histogram sampling/subtraction, the windowed quantile
+// estimator's agreement with Histogram::Quantile, and Delta's clamping
+// and short-vector semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/rolling_window.h"
+
+namespace hcd {
+namespace {
+
+WindowSample MakeSample(double at_seconds, std::vector<uint64_t> counters) {
+  WindowSample sample;
+  sample.at_seconds = at_seconds;
+  sample.counters = std::move(counters);
+  return sample;
+}
+
+TEST(HistogramSample, SampleCopiesBucketsAndSum) {
+  Histogram h;
+  h.Observe(0.5e-6);  // bucket 0
+  h.Observe(1.5e-6);  // bucket 1
+  h.Observe(1e9);     // overflow
+  const HistogramSample sample = SampleHistogram(h);
+  EXPECT_EQ(sample.buckets[0], 1u);
+  EXPECT_EQ(sample.buckets[1], 1u);
+  EXPECT_EQ(sample.buckets[Histogram::kNumFiniteBuckets], 1u);
+  EXPECT_EQ(sample.TotalCount(), 3u);
+  EXPECT_DOUBLE_EQ(sample.sum_seconds, h.Sum());
+}
+
+TEST(HistogramSample, SubtractClampsPerBucketAndSum) {
+  HistogramSample newer, older;
+  newer.buckets[0] = 5;
+  newer.buckets[3] = 2;
+  newer.sum_seconds = 1.0;
+  older.buckets[0] = 3;
+  older.buckets[3] = 7;  // older larger: out-of-order reader, clamp to 0
+  older.sum_seconds = 4.0;
+  const HistogramSample delta = SubtractSample(newer, older);
+  EXPECT_EQ(delta.buckets[0], 2u);
+  EXPECT_EQ(delta.buckets[3], 0u);
+  EXPECT_EQ(delta.sum_seconds, 0.0);
+}
+
+TEST(HistogramSample, SampleQuantileMatchesHistogramQuantile) {
+  Histogram h;
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    // Spread across many log buckets: 1 us .. ~1 s.
+    h.Observe(1e-6 * static_cast<double>(1 + rng.Uniform(1000000)));
+  }
+  const HistogramSample sample = SampleHistogram(h);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(SampleQuantile(sample, q), h.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(RollingWindow, DeltaNeedsTwoSamples) {
+  RollingWindow window(8);
+  WindowSample delta;
+  EXPECT_FALSE(window.Delta(1, &delta));
+  window.Push(MakeSample(1.0, {10}));
+  EXPECT_FALSE(window.Delta(1, &delta));
+  window.Push(MakeSample(2.0, {25}));
+  ASSERT_TRUE(window.Delta(1, &delta));
+  EXPECT_DOUBLE_EQ(delta.at_seconds, 1.0);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0], 15u);
+}
+
+TEST(RollingWindow, DeltaSpansTheRequestedTicks) {
+  RollingWindow window(8);
+  for (int tick = 0; tick <= 5; ++tick) {
+    window.Push(
+        MakeSample(static_cast<double>(tick),
+                   {static_cast<uint64_t>(tick) * 100}));
+  }
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(3, &delta));
+  EXPECT_DOUBLE_EQ(delta.at_seconds, 3.0);
+  EXPECT_EQ(delta.counters[0], 300u);
+  // ticks_back of 0 still compares against at least the previous sample.
+  ASSERT_TRUE(window.Delta(0, &delta));
+  EXPECT_EQ(delta.counters[0], 100u);
+}
+
+TEST(RollingWindow, DeltaClampsToTheOldestRetainedSample) {
+  RollingWindow window(4);  // retains at most 4 samples
+  for (int tick = 0; tick <= 9; ++tick) {
+    window.Push(
+        MakeSample(static_cast<double>(tick),
+                   {static_cast<uint64_t>(tick) * 10}));
+  }
+  EXPECT_EQ(window.Size(), 4u);  // ticks 6..9 survive
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(60, &delta));
+  EXPECT_DOUBLE_EQ(delta.at_seconds, 3.0);  // 9 - 6: the real span reported
+  EXPECT_EQ(delta.counters[0], 30u);
+}
+
+TEST(RollingWindow, CountersNeverUnderflowOnRegression) {
+  RollingWindow window(8);
+  window.Push(MakeSample(1.0, {100}));
+  window.Push(MakeSample(2.0, {40}));  // regressed (e.g. restarted source)
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(1, &delta));
+  EXPECT_EQ(delta.counters[0], 0u);  // clamped, not wrapped to ~2^64
+}
+
+TEST(RollingWindow, ShorterOlderVectorsReadAsZero) {
+  // An instrument added between ticks: the older sample has fewer slots.
+  RollingWindow window(8);
+  window.Push(MakeSample(1.0, {5}));
+  window.Push(MakeSample(2.0, {8, 70}));
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(1, &delta));
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0], 3u);
+  EXPECT_EQ(delta.counters[1], 70u);  // counted from zero
+}
+
+TEST(RollingWindow, HistogramDeltaIsTheBetweenTicksIncrement) {
+  Histogram h;
+  RollingWindow window(8);
+
+  h.Observe(0.5e-6);
+  WindowSample first;
+  first.at_seconds = 1.0;
+  first.histograms.push_back(SampleHistogram(h));
+  window.Push(std::move(first));
+
+  h.Observe(3e-6);  // bucket 2: the only observation between the ticks
+  h.Observe(3e-6);
+  WindowSample second;
+  second.at_seconds = 2.0;
+  second.histograms.push_back(SampleHistogram(h));
+  window.Push(std::move(second));
+
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(1, &delta));
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].TotalCount(), 2u);
+  EXPECT_EQ(delta.histograms[0].buckets[0], 0u);
+  EXPECT_EQ(delta.histograms[0].buckets[2], 2u);
+  // The windowed quantile reflects only the in-window observations.
+  const double p50 = SampleQuantile(delta.histograms[0], 0.5);
+  EXPECT_GT(p50, 2e-6);
+  EXPECT_LE(p50, 4e-6);
+}
+
+TEST(RollingWindow, MissingOlderHistogramsReadAsZero) {
+  RollingWindow window(8);
+  WindowSample first;
+  first.at_seconds = 1.0;
+  window.Push(std::move(first));
+  Histogram h;
+  h.Observe(2e-6);
+  WindowSample second;
+  second.at_seconds = 2.0;
+  second.histograms.push_back(SampleHistogram(h));
+  window.Push(std::move(second));
+  WindowSample delta;
+  ASSERT_TRUE(window.Delta(1, &delta));
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].TotalCount(), 1u);
+}
+
+}  // namespace
+}  // namespace hcd

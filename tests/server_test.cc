@@ -12,8 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -21,6 +24,7 @@
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "engine/live.h"
 #include "graph/generators.h"
 #include "hcd/query.h"
@@ -33,10 +37,14 @@
 #include "server/protocol.h"
 #include "server/result_cache.h"
 #include "server/server.h"
+#include "server/slow_log.h"
 #include "tests/test_util.h"
 
 namespace hcd::server {
 namespace {
+
+using hcd::testing::JsonValue;
+using hcd::testing::ParseJson;
 
 std::vector<EdgeUpdate> ToggleBatch(const DynamicCoreIndex& index, Rng& rng,
                                     size_t size) {
@@ -160,6 +168,117 @@ TEST(Protocol, CacheKeyCanonicalizesVertexSets) {
   b.k = 2;
   b.metric = Metric::kCutRatio;
   EXPECT_NE(CacheKeyFor(a), CacheKeyFor(b));
+}
+
+TEST(Protocol, TraceContextRoundTripsAsAVersionTwoTail) {
+  QueryRequest request;
+  request.metric = Metric::kCutRatio;
+  request.k = 2;
+  request.vertices = {4, 8};
+  const std::string untraced = EncodeQueryRequest(request);
+
+  request.trace_id = 0xdeadbeefcafef00dull;
+  request.sampled = true;
+  const std::string traced = EncodeQueryRequest(request);
+  ASSERT_EQ(traced.size(), untraced.size() + 9);  // u64 id + u8 sampled
+
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(traced, &decoded));
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+  EXPECT_TRUE(decoded.sampled);
+  EXPECT_EQ(decoded.vertices, request.vertices);
+
+  // A version-1 frame (no tail) still decodes, with no trace context —
+  // the compatibility contract for old clients against new servers.
+  ASSERT_TRUE(DecodeQueryRequest(untraced, &decoded));
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_FALSE(decoded.sampled);
+  EXPECT_EQ(decoded.vertices, request.vertices);
+}
+
+TEST(Protocol, MalformedTraceTailsAreRejected) {
+  QueryRequest request;
+  request.vertices = {1};
+  request.trace_id = 7;
+  request.sampled = false;
+  const std::string traced = EncodeQueryRequest(request);
+
+  QueryRequest out;
+  // A truncated tail is neither a valid v1 nor a valid v2 frame.
+  for (size_t cut = 1; cut < 9; ++cut) {
+    EXPECT_FALSE(DecodeQueryRequest(
+        std::string_view(traced).substr(0, traced.size() - cut), &out))
+        << "tail short by " << cut;
+  }
+  // The sampled flag is strictly 0 or 1.
+  std::string bad_flag = traced;
+  bad_flag.back() = '\x02';
+  EXPECT_FALSE(DecodeQueryRequest(bad_flag, &out));
+}
+
+TEST(Protocol, CacheKeyIgnoresTraceContext) {
+  QueryRequest plain, traced;
+  plain.metric = traced.metric = Metric::kModularity;
+  plain.k = traced.k = 1;
+  plain.vertices = traced.vertices = {2, 6};
+  traced.trace_id = 0x1234;
+  traced.sampled = true;
+  // The trace id names the request, not the question: traced and untraced
+  // askers of the same query must share a cache entry.
+  EXPECT_EQ(CacheKeyFor(plain), CacheKeyFor(traced));
+}
+
+TEST(Protocol, StatsRequestRoundTripsItsType) {
+  const std::string payload = EncodeStatsRequest();
+  MessageType type;
+  ASSERT_TRUE(DecodeRequestType(payload, &type));
+  EXPECT_EQ(type, MessageType::kStats);
+}
+
+// --- slow log ---------------------------------------------------------------
+
+TEST(SlowLog, FormatsOneParseableRecordWithExactPhaseSum) {
+  SlowLogRecord record;
+  record.ts_unix_ms = 1700000000123ull;
+  record.reason = "sampled";
+  record.regime = "vertex-set";
+  record.hierarchy = HierarchyKind::kTruss;
+  record.metric = Metric::kConductance;
+  record.k = 4;
+  record.cache_hit = true;
+  record.found = true;
+  record.overloaded = true;
+  record.epoch = 9;
+  record.queue_depth = 3;
+  record.timings.trace_id = 0xabcdef;
+  record.timings.sampled = true;
+  record.timings.queue_ns = 1000;
+  record.timings.decode_ns = 200;
+  record.timings.cache_ns = 300;
+  record.timings.search_ns = 4000;
+  record.timings.encode_ns = 500;
+
+  const std::string line = FormatSlowLogRecord(record);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(line, &doc)) << line;
+  EXPECT_EQ(doc.Find("ts_unix_ms")->number, 1700000000123.0);
+  EXPECT_EQ(doc.Find("reason")->str, "sampled");
+  EXPECT_EQ(doc.Find("trace_id")->str, "0xabcdef");
+  EXPECT_EQ(doc.Find("regime")->str, "vertex-set");
+  EXPECT_EQ(doc.Find("hierarchy")->str, "truss");
+  EXPECT_EQ(doc.Find("metric")->str, "conductance");
+  EXPECT_EQ(doc.Find("k")->number, 4.0);
+  EXPECT_EQ(doc.Find("epoch")->number, 9.0);
+  EXPECT_EQ(doc.Find("queue_depth")->number, 3.0);
+  const JsonValue* phases = doc.Find("phase_ns");
+  ASSERT_NE(phases, nullptr);
+  const double sum = phases->Find("queue")->number +
+                     phases->Find("decode")->number +
+                     phases->Find("cache")->number +
+                     phases->Find("search")->number +
+                     phases->Find("encode")->number;
+  EXPECT_EQ(doc.Find("total_ns")->number, sum);
+  EXPECT_EQ(doc.Find("total_ns")->number, 6000.0);
 }
 
 // --- result cache -----------------------------------------------------------
@@ -725,6 +844,298 @@ TEST(QueryServerTest, SoakCachedServingStaysConsistentAcrossHandover) {
   // plenty of hits even though each handover drops the cache.
   EXPECT_GT(stats.cache_hits, 0u);
   EXPECT_EQ(stats.bad_requests, 0u);
+}
+
+// --- request-scoped observability -------------------------------------------
+
+TEST(QueryServerTest, StatsJsonMatchesTheAlwaysOnHistograms) {
+  MetricsRegistry registry;
+  registry.Install();
+  {
+    LiveEngine live(ErdosRenyiGnm(200, 800, 51));
+    ServerOptions options;
+    options.workers = 1;
+    options.stats_tick_millis = 25;  // fast ticks so windows fill quickly
+    QueryServer server(&live.manager(), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    QueryClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    constexpr int kRequests = 40;
+    QueryRequest request;
+    QueryResponse response;
+    for (int i = 0; i < kRequests; ++i) {
+      request.metric = kAllMetrics[i % std::size(kAllMetrics)];
+      request.k = static_cast<uint32_t>(i % 2);
+      ASSERT_TRUE(client.Query(request, &response).ok());
+      ASSERT_EQ(response.status, ResponseStatus::kOk);
+    }
+    // Let the ticker capture a sample after the last request so the
+    // clamped widest window covers all of them.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::string json;
+    ASSERT_TRUE(client.FetchStats(&json).ok());
+    JsonValue doc;
+    ASSERT_TRUE(ParseJson(json, &doc)) << json;
+
+    const JsonValue* totals = doc.Find("server")->Find("totals");
+    ASSERT_NE(totals, nullptr);
+    EXPECT_EQ(totals->Find("requests")->number, kRequests);
+    EXPECT_GT(totals->Find("cache_hits")->number, 0.0);
+    EXPECT_EQ(totals->Find("bad_requests")->number, 0.0);
+    EXPECT_EQ(totals->Find("connections")->number, 1.0);
+
+    // The lifetime quantiles are rendered from the same always-on
+    // histogram the registry instrument mirrors, so the JSON p99 equals
+    // the registry histogram's Quantile (modulo %.6g formatting).
+    const JsonValue* total = doc.Find("total");
+    ASSERT_NE(total, nullptr);
+    const JsonValue* latency = total->Find("latency_us");
+    EXPECT_EQ(latency->Find("count")->number, kRequests);
+    const double registry_p99 =
+        registry.GetHistogram("hcd_query_latency_seconds")->Quantile(0.99) *
+        1e6;
+    EXPECT_NEAR(latency->Find("p99_us")->number, registry_p99,
+                registry_p99 * 1e-4 + 1e-9);
+
+    // Every phase histogram saw every request, and the per-phase p99s are
+    // rendered from the registry-mirrored data too.
+    const JsonValue* phases = total->Find("phases_us");
+    for (const char* phase :
+         {"queue", "decode", "cache", "search", "encode"}) {
+      ASSERT_NE(phases->Find(phase), nullptr) << phase;
+      EXPECT_EQ(phases->Find(phase)->Find("count")->number, kRequests)
+          << phase;
+    }
+    const double search_p99 =
+        registry
+            .GetHistogram("hcd_server_phase_seconds", "",
+                          {{"phase", "search"}})
+            ->Quantile(0.99) *
+        1e6;
+    EXPECT_NEAR(phases->Find("search")->Find("p99_us")->number, search_p99,
+                search_p99 * 1e-4 + 1e-9);
+
+    // The widest window clamps to the full uptime, so it has seen all the
+    // requests and reproduces the lifetime quantiles (same observations).
+    const JsonValue* windows = doc.Find("windows");
+    ASSERT_NE(windows, nullptr);
+    ASSERT_FALSE(windows->array.empty());
+    const JsonValue* widest = nullptr;
+    for (const JsonValue& window : windows->array) {
+      if (window.Find("ticks")->number == 60.0) widest = &window;
+    }
+    ASSERT_NE(widest, nullptr);
+    const JsonValue* window_latency = widest->Find("latency_us");
+    EXPECT_EQ(window_latency->Find("count")->number, kRequests);
+    EXPECT_NEAR(window_latency->Find("p99_us")->number, registry_p99,
+                registry_p99 * 1e-4 + 1e-9);
+    EXPECT_GT(widest->Find("qps")->number, 0.0);
+    EXPECT_EQ(widest->Find("error_rate")->number, 0.0);
+
+    server.Stop();
+    EXPECT_GE(server.stats().stats_requests, 1u);
+  }
+  registry.Uninstall();
+}
+
+TEST(QueryServerTest, SlowLogRecordsEveryRequestWithExactPhaseSums) {
+  const std::string path = ::testing::TempDir() + "/hcd_server_slow.jsonl";
+  std::remove(path.c_str());
+  LiveEngine live(ErdosRenyiGnm(200, 800, 53));
+  ServerOptions options;
+  options.workers = 1;
+  options.slow_query_ms = 0.0;  // every request is "slow": log them all
+  options.slow_log_path = path;
+  options.slow_log_sample_every = 0;
+  QueryServer server(&live.manager(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr int kRequests = 24;
+  QueryRequest request;
+  QueryResponse response;
+  for (int i = 0; i < kRequests; ++i) {
+    request.metric = kAllMetrics[i % std::size(kAllMetrics)];
+    request.k = static_cast<uint32_t>(i % 3);
+    request.vertices.clear();
+    if (i % 4 == 3) request.vertices = {static_cast<VertexId>(i)};
+    ASSERT_TRUE(client.Query(request, &response).ok());
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+  }
+  server.Stop();  // drains and closes the slow log
+
+  ASSERT_NE(server.slow_log(), nullptr);
+  EXPECT_EQ(server.slow_log()->appended(), kRequests);
+  EXPECT_EQ(server.slow_log()->written(), kRequests);
+  EXPECT_EQ(server.slow_log()->dropped(), 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int records = 0;
+  while (std::getline(in, line)) {
+    JsonValue doc;
+    ASSERT_TRUE(ParseJson(line, &doc)) << line;
+    EXPECT_EQ(doc.Find("reason")->str, "slow");
+    EXPECT_EQ(doc.Find("hierarchy")->str, "core");
+    // The consecutive-stamp design: phases sum EXACTLY to the total, not
+    // within a tolerance.
+    const JsonValue* phases = doc.Find("phase_ns");
+    ASSERT_NE(phases, nullptr);
+    const double sum = phases->Find("queue")->number +
+                       phases->Find("decode")->number +
+                       phases->Find("cache")->number +
+                       phases->Find("search")->number +
+                       phases->Find("encode")->number;
+    EXPECT_EQ(doc.Find("total_ns")->number, sum) << line;
+    // Queue wait is attributed to the connection's first request only.
+    if (records > 0) {
+      EXPECT_EQ(phases->Find("queue")->number, 0.0);
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, kRequests);
+  std::remove(path.c_str());
+}
+
+TEST(QueryServerTest, TraceSpansPairClientAndServerByTraceId) {
+  Tracer tracer;
+  tracer.Install();
+  std::vector<std::string> client_ids, server_ids;
+  {
+    LiveEngine live(ErdosRenyiGnm(150, 600, 57));
+    ServerOptions options;
+    options.workers = 1;
+    QueryServer server(&live.manager(), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    QueryClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    QueryRequest request;
+    QueryResponse response;
+    constexpr int kRequests = 3;
+    for (int i = 0; i < kRequests; ++i) {
+      request.metric = kAllMetrics[i];
+      // No explicit trace id: the traced client mints one per request.
+      ASSERT_TRUE(client.Query(request, &response).ok());
+      ASSERT_EQ(response.status, ResponseStatus::kOk);
+    }
+    server.Stop();  // joins the workers: the tracer is quiescent now
+
+    int phase_spans = 0;
+    for (const TraceSpanRecord& record : tracer.CollectSpans()) {
+      const std::string& name = record.span.name;
+      if (name == "serve.decode" || name == "serve.cache" ||
+          name == "serve.search" || name == "serve.encode") {
+        ++phase_spans;
+        ASSERT_FALSE(record.span.args.empty());
+        EXPECT_EQ(record.span.args[0].key, "trace_id");
+        continue;
+      }
+      if (name != "client.query" && name != "serve.request") continue;
+      std::string id;
+      bool sampled_seen = false;
+      for (const TraceArg& arg : record.span.args) {
+        if (arg.key == "trace_id") {
+          ASSERT_TRUE(arg.is_text);
+          id = arg.text;
+        }
+        if (arg.key == "sampled") sampled_seen = true;
+      }
+      ASSERT_FALSE(id.empty()) << name << " span without a trace id";
+      EXPECT_NE(id, "0x0") << name;
+      EXPECT_TRUE(sampled_seen) << name;
+      (name == "client.query" ? client_ids : server_ids).push_back(id);
+    }
+    EXPECT_EQ(phase_spans, 4 * kRequests);
+    ASSERT_EQ(client_ids.size(), static_cast<size_t>(kRequests));
+  }
+  tracer.Uninstall();
+
+  // The server's request spans carry exactly the ids the client minted:
+  // one Perfetto view pairs the two lanes of each query.
+  std::sort(client_ids.begin(), client_ids.end());
+  std::sort(server_ids.begin(), server_ids.end());
+  EXPECT_EQ(client_ids, server_ids);
+}
+
+// The registry-drift regression test: after a run mixing answered
+// queries, a malformed frame, and connections shed both by admission
+// control and by Stop, every registry counter equals its ServerStats
+// mirror (instruments are resolved before any server thread exists, and
+// every path that bumps an atomic bumps its instrument).
+TEST(QueryServerTest, RegistryCountersMirrorServerStatsExactly) {
+  MetricsRegistry registry;
+  registry.Install();
+  {
+    LiveEngine live(ErdosRenyiGnm(150, 600, 59));
+    ServerOptions options;
+    options.workers = 1;
+    options.max_pending = 64;
+    QueryServer server(&live.manager(), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    // Answered queries (one miss, one hit), then a clean close so the one
+    // worker frees up for the malformed frame.
+    {
+      QueryClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+      QueryRequest request;
+      QueryResponse response;
+      ASSERT_TRUE(client.Query(request, &response).ok());
+      ASSERT_TRUE(client.Query(request, &response).ok());
+      EXPECT_TRUE(response.cache_hit);
+    }
+    EXPECT_EQ(RawFrameStatus(server.port(), "\x63" "bogus"),
+              static_cast<int>(ResponseStatus::kBadRequest));
+
+    // Park the worker on a connection that stays open, then queue two more
+    // connections behind it; Stop must shed them through the instrumented
+    // path (the historical drift bug: Stop bumped only the atomic).
+    QueryClient busy;
+    ASSERT_TRUE(busy.Connect("127.0.0.1", server.port()).ok());
+    QueryRequest request;
+    request.metric = Metric::kConductance;  // distinct key: a cache miss
+    QueryResponse response;
+    ASSERT_TRUE(busy.Query(request, &response).ok());
+    QueryClient parked_a, parked_b;
+    ASSERT_TRUE(parked_a.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(parked_b.Connect("127.0.0.1", server.port()).ok());
+    // connect() returning only proves the kernel backlog took them; wait
+    // until the acceptor has actually queued both.
+    for (int spin = 0; spin < 5000; ++spin) {
+      JsonValue doc;
+      ASSERT_TRUE(ParseJson(server.RenderStatsJson(), &doc));
+      if (doc.Find("server")->Find("queue_depth")->number == 2.0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.Stop();
+    // The parked connections received the explicit overload frame.
+    QueryResponse shed_frame;
+    ASSERT_TRUE(parked_a.ReadQueryResponse(&shed_frame).ok());
+    EXPECT_EQ(shed_frame.status, ResponseStatus::kOverloaded);
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.bad_requests, 1u);
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_EQ(registry.GetCounter("hcd_server_requests_total")->Value(),
+              stats.requests);
+    EXPECT_EQ(registry.GetCounter("hcd_server_cache_hits_total")->Value(),
+              stats.cache_hits);
+    EXPECT_EQ(registry.GetCounter("hcd_server_bad_requests_total")->Value(),
+              stats.bad_requests);
+    EXPECT_EQ(registry.GetCounter("hcd_server_overload_total")->Value(),
+              stats.shed);
+    EXPECT_EQ(
+        registry.GetHistogram("hcd_query_latency_seconds")->TotalCount(),
+        stats.requests);
+  }
+  registry.Uninstall();
 }
 
 }  // namespace

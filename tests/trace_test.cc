@@ -153,6 +153,57 @@ TEST(Tracer, FullBufferDropsAndCounts) {
   EXPECT_EQ(tracer.TotalDropped(), 6u);
 }
 
+/// Dropped-span accounting reaches the metrics registry exactly once per
+/// drop: Drain (and PublishDroppedSpans directly) push only the delta
+/// since the previous publish, so repeated exports never double-count.
+TEST(Tracer, DrainPublishesDropCountsOnceToTheRegistry) {
+  MetricsRegistry registry;
+  registry.Install();
+  {
+    Tracer tracer(/*max_spans_per_thread=*/4);
+    for (int i = 0; i < 10; ++i) {
+      ScopedSpan span(&tracer, "capped");
+    }
+    EXPECT_EQ(tracer.TotalDropped(), 6u);
+
+    Counter* dropped = registry.GetCounter("hcd_trace_dropped_spans_total");
+    EXPECT_EQ(dropped->Value(), 0u);  // nothing published yet
+    tracer.Drain();
+    EXPECT_EQ(dropped->Value(), 6u);
+    // A second drain with no new drops publishes nothing more.
+    tracer.Drain();
+    EXPECT_EQ(dropped->Value(), 6u);
+
+    // New drops after the drain publish only their own delta. The buffer
+    // kept its 4-slot capacity and Drain emptied it, so of 5 spans one is
+    // dropped.
+    for (int i = 0; i < 5; ++i) {
+      ScopedSpan span(&tracer, "capped-again");
+    }
+    tracer.PublishDroppedSpans();
+    EXPECT_EQ(dropped->Value(), 7u);
+    EXPECT_EQ(tracer.TotalDropped(), 7u);
+  }
+  registry.Uninstall();
+}
+
+/// Without a registry the publish is a no-op that does NOT advance the
+/// watermark: drops that happened while no registry was installed still
+/// reach a registry installed later.
+TEST(Tracer, DropsSurviveUntilARegistryExists) {
+  Tracer tracer(/*max_spans_per_thread=*/2);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&tracer, "early");
+  }
+  tracer.PublishDroppedSpans();  // no registry: nothing to publish into
+  MetricsRegistry registry;
+  registry.Install();
+  tracer.PublishDroppedSpans();
+  EXPECT_EQ(registry.GetCounter("hcd_trace_dropped_spans_total")->Value(),
+            3u);
+  registry.Uninstall();
+}
+
 TEST(Tracer, DrainResetsButKeepsRecording) {
   Tracer tracer;
   { ScopedSpan span(&tracer, "one"); }

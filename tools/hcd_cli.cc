@@ -102,6 +102,8 @@ Status SaveGraphAuto(const Graph& graph, const std::string& path) {
 }
 
 int WriteTextFile(const std::string& path, const std::string& text);
+struct CliArgs;
+int CmdStatsConnect(const CliArgs& args);
 
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -117,7 +119,7 @@ int Usage() {
       "  hcd_cli gen gnm <out> <n> <m> [seed]\n"
       "  hcd_cli gen onion <out> <k_max> <shell_size>\n"
       "  hcd_cli convert <in.txt> <out.bin>\n"
-      "  hcd_cli stats <graph> [flags]\n"
+      "  hcd_cli stats <graph> | --connect=HOST:PORT [flags]\n"
       "  hcd_cli build <graph> <out.forest> [flags]\n"
       "  hcd_cli search <graph> <metric> [flags]\n"
       "  hcd_cli export <graph> <out.dot> [flags]\n"
@@ -136,10 +138,27 @@ int Usage() {
       "  --max-pending=N          pending connections beyond the idle\n"
       "                           workers before shedding (default 64)\n"
       "  --no-cache               disable the epoch-keyed result cache\n"
+      "flags (serve):\n"
+      "  --slow-log=FILE          append a JSONL slow-query log to FILE\n"
+      "  --slow-query-ms=MS       log requests whose total latency exceeds\n"
+      "                           MS milliseconds (0 logs every request;\n"
+      "                           default: threshold disabled)\n"
+      "  --slow-log-sample=N      also log every Nth request as a healthy\n"
+      "                           baseline (default 1024; 0 disables)\n"
+      "flags (stats):\n"
+      "  --connect=HOST:PORT      fetch and render a running server's live\n"
+      "                           stats (rolling QPS / latency windows)\n"
+      "                           instead of analyzing a graph\n"
+      "  --watch=N                with --connect: refresh every N seconds\n"
+      "                           until interrupted\n"
       "flags (serve-bench):\n"
       "  --connect=HOST:PORT      drive an already-running server instead\n"
       "                           of an in-process one\n"
       "  --connections=N          concurrent client connections (default 4)\n"
+      "  --server-phase-report    fetch the server's phase-attributed\n"
+      "                           latency stats after the run and print\n"
+      "                           queue/decode/cache/search/encode\n"
+      "                           attribution next to the client tail\n"
       "  --distinct-k=N           distinct k values in the workload\n"
       "                           (default 4; smaller = more cache hits)\n"
       "  --pipeline=N             in-flight queries per connection\n"
@@ -224,6 +243,22 @@ struct CliArgs {
   bool no_cache = false;
   std::string server_metrics_out;
   std::string server_flag;
+  // --connect targets an external server; valid for serve-bench (drive it)
+  // and stats (render its live stats). Rejected elsewhere via
+  // `connect_flag`.
+  std::string connect_flag;
+  // Slow-query log flags (serve only; rejected elsewhere via
+  // `serve_only_flag`).
+  double slow_query_ms = -1.0;  ///< <0: threshold disabled
+  std::string slow_log_path;
+  int slow_log_sample = 1024;   ///< 0: sampling disabled
+  std::string serve_only_flag;
+  // stats --connect flags (rejected elsewhere via `stats_flag`).
+  int watch_seconds = 0;  ///< 0: print one snapshot and exit
+  std::string stats_flag;
+  // serve-bench-only flags (rejected elsewhere via `bench_only_flag`).
+  bool server_phase_report = false;
+  std::string bench_only_flag;
   // --hierarchy (build / export / query-bench / serve only; rejected
   // elsewhere via `hierarchy_flag`).
   std::string hierarchy_flag;
@@ -437,7 +472,56 @@ bool ParseCliArgs(int argc, char** argv, int from, CliArgs* out) {
       }
       out->connect_host = value.substr(0, colon);
       out->connect_port = static_cast<int>(port);
-      if (out->server_flag.empty()) out->server_flag = arg;
+      if (out->connect_flag.empty()) out->connect_flag = arg;
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      const std::string value = arg.substr(16);
+      char* end = nullptr;
+      const double ms = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || ms < 0.0) {
+        std::fprintf(stderr,
+                     "error: bad --slow-query-ms value '%s' (want a "
+                     "non-negative number of milliseconds)\n",
+                     value.c_str());
+        return false;
+      }
+      out->slow_query_ms = ms;
+      if (out->serve_only_flag.empty()) out->serve_only_flag = arg;
+    } else if (arg.rfind("--slow-log=", 0) == 0) {
+      out->slow_log_path = arg.substr(11);
+      if (out->slow_log_path.empty()) {
+        std::fprintf(stderr, "error: --slow-log needs a file path\n");
+        return false;
+      }
+      if (out->serve_only_flag.empty()) out->serve_only_flag = arg;
+    } else if (arg.rfind("--slow-log-sample=", 0) == 0) {
+      const std::string value = arg.substr(18);
+      char* end = nullptr;
+      const long every = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || every < 0) {
+        std::fprintf(stderr,
+                     "error: bad --slow-log-sample value '%s' (want a "
+                     "non-negative integer)\n",
+                     value.c_str());
+        return false;
+      }
+      out->slow_log_sample = static_cast<int>(every);
+      if (out->serve_only_flag.empty()) out->serve_only_flag = arg;
+    } else if (arg.rfind("--watch=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      char* end = nullptr;
+      const long seconds = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || seconds <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --watch value '%s' (want a positive number "
+                     "of seconds)\n",
+                     value.c_str());
+        return false;
+      }
+      out->watch_seconds = static_cast<int>(seconds);
+      if (out->stats_flag.empty()) out->stats_flag = arg;
+    } else if (arg == "--server-phase-report") {
+      out->server_phase_report = true;
+      if (out->bench_only_flag.empty()) out->bench_only_flag = arg;
     } else if (arg.rfind("--connections=", 0) == 0) {
       const std::string value = arg.substr(14);
       char* end = nullptr;
@@ -642,6 +726,11 @@ int CmdConvert(const CliArgs& args) {
 }
 
 int CmdStats(const CliArgs& args) {
+  if (args.connect_port >= 0) return CmdStatsConnect(args);
+  if (args.watch_seconds > 0) {
+    std::fprintf(stderr, "error: --watch needs --connect=HOST:PORT\n");
+    return Usage();
+  }
   if (args.pos.size() != 1) return Usage();
   std::unique_ptr<HcdEngine> engine;
   Status s = HcdEngine::Load(args.pos[0], args.options, &engine);
@@ -1283,6 +1372,130 @@ std::atomic<bool> g_serve_stop{false};
 
 void ServeSignalHandler(int) { g_serve_stop.store(true); }
 
+/// Minimal scanner over the server's fixed-layout stats JSON (see
+/// QueryServer::RenderStatsJson): finds `"key":` at or after `from` and
+/// parses the number that follows. Good enough for rendering a document we
+/// emit ourselves; not a general JSON parser.
+bool FindJsonNumber(const std::string& json, const char* key, size_t from,
+                    double* value) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return false;
+  const char* start = json.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double parsed = std::strtod(start, &end);
+  if (end == start) return false;
+  *value = parsed;
+  return true;
+}
+
+double JsonNumberOr(const std::string& json, const char* key, size_t from,
+                    double fallback) {
+  double value = fallback;
+  FindJsonNumber(json, key, from, &value);
+  return value;
+}
+
+/// One "  <name>  mean  p50  p95  p99 (count)" row from the quantile
+/// object that follows `from` (a position inside the stats JSON just
+/// before the object's keys).
+void PrintQuantileRow(const std::string& json, const char* name,
+                      size_t from) {
+  std::printf("  %-8s %10.1f %10.1f %10.1f %10.1f %12.0f\n", name,
+              JsonNumberOr(json, "mean_us", from, 0.0),
+              JsonNumberOr(json, "p50_us", from, 0.0),
+              JsonNumberOr(json, "p95_us", from, 0.0),
+              JsonNumberOr(json, "p99_us", from, 0.0),
+              JsonNumberOr(json, "count", from, 0.0));
+}
+
+/// Renders the kStats JSON as the human `stats --connect` view: server
+/// line, totals line, one row per rolling window, and the lifetime phase
+/// attribution table.
+void PrintServerStatsJson(const std::string& json) {
+  std::printf("uptime %.1fs  epoch %.0f  workers %.0f  queue %.0f  "
+              "inflight %.0f\n",
+              JsonNumberOr(json, "uptime_seconds", 0, 0.0),
+              JsonNumberOr(json, "epoch", 0, 0.0),
+              JsonNumberOr(json, "workers", 0, 0.0),
+              JsonNumberOr(json, "queue_depth", 0, 0.0),
+              JsonNumberOr(json, "inflight", 0, 0.0));
+  const size_t totals_pos = json.find("\"totals\":{");
+  std::printf("totals: %.0f requests, %.0f cache hits, %.0f bad, %.0f shed, "
+              "%.0f connections, slow log %.0f written / %.0f dropped\n",
+              JsonNumberOr(json, "requests", totals_pos, 0.0),
+              JsonNumberOr(json, "cache_hits", totals_pos, 0.0),
+              JsonNumberOr(json, "bad_requests", totals_pos, 0.0),
+              JsonNumberOr(json, "shed", totals_pos, 0.0),
+              JsonNumberOr(json, "connections", totals_pos, 0.0),
+              JsonNumberOr(json, "slow_log_written", totals_pos, 0.0),
+              JsonNumberOr(json, "slow_log_dropped", totals_pos, 0.0));
+  std::printf("  %-8s %10s %8s %8s %10s %10s %10s\n", "window", "qps",
+              "hit%", "err%", "p50_us", "p95_us", "p99_us");
+  size_t pos = json.find("\"windows\":[");
+  while (pos != std::string::npos) {
+    const size_t label_pos = json.find("\"label\":\"", pos + 1);
+    if (label_pos == std::string::npos) break;
+    const size_t label_start = label_pos + 9;
+    const size_t label_end = json.find('"', label_start);
+    if (label_end == std::string::npos) break;
+    const std::string label =
+        json.substr(label_start, label_end - label_start);
+    const size_t latency_pos = json.find("\"latency_us\":", label_pos);
+    std::printf("  %-8s %10.0f %8.1f %8.2f %10.1f %10.1f %10.1f\n",
+                label.c_str(), JsonNumberOr(json, "qps", label_pos, 0.0),
+                JsonNumberOr(json, "cache_hit_rate", label_pos, 0.0) * 100.0,
+                JsonNumberOr(json, "error_rate", label_pos, 0.0) * 100.0,
+                JsonNumberOr(json, "p50_us", latency_pos, 0.0),
+                JsonNumberOr(json, "p95_us", latency_pos, 0.0),
+                JsonNumberOr(json, "p99_us", latency_pos, 0.0));
+    pos = label_end;
+  }
+  const size_t total_pos = json.find("\"total\":{");
+  if (total_pos == std::string::npos) return;
+  std::printf("lifetime phase attribution (us):\n");
+  std::printf("  %-8s %10s %10s %10s %10s %12s\n", "phase", "mean", "p50",
+              "p95", "p99", "count");
+  PrintQuantileRow(json, "latency", json.find("\"latency_us\":", total_pos));
+  const size_t phases_pos = json.find("\"phases_us\":{", total_pos);
+  for (const char* phase : {"queue", "decode", "cache", "search", "encode"}) {
+    const std::string needle = std::string("\"") + phase + "\":{";
+    PrintQuantileRow(json, phase, json.find(needle, phases_pos));
+  }
+}
+
+/// `stats --connect=HOST:PORT [--watch=N]`: fetches a running server's
+/// kStats snapshot and renders it (raw JSON under --json); --watch
+/// refreshes every N seconds until interrupted.
+int CmdStatsConnect(const CliArgs& args) {
+  if (!args.pos.empty()) return Usage();
+  g_serve_stop.store(false);
+  if (args.watch_seconds > 0) {
+    std::signal(SIGINT, ServeSignalHandler);
+    std::signal(SIGTERM, ServeSignalHandler);
+  }
+  for (;;) {
+    hcd::server::QueryClient client;
+    Status s = client.Connect(args.connect_host,
+                              static_cast<uint16_t>(args.connect_port));
+    std::string json;
+    if (s.ok()) s = client.FetchStats(&json);
+    if (!s.ok()) return Fail(s);
+    if (args.json) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      PrintServerStatsJson(json);
+    }
+    std::fflush(stdout);
+    if (args.watch_seconds <= 0) return 0;
+    for (int tick = 0;
+         tick < args.watch_seconds * 10 && !g_serve_stop.load(); ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_serve_stop.load()) return 0;
+  }
+}
+
 /// Runs the socket front door over <graph> until SIGINT/SIGTERM: builds
 /// the hierarchy once (LiveEngine, so a future writer could keep applying
 /// batches), starts the QueryServer, prints the bound port, and waits.
@@ -1356,6 +1569,13 @@ int CmdServe(const CliArgs& args) {
   options.workers = args.server_workers;
   options.max_pending = args.max_pending;
   options.cache = !args.no_cache;
+  if (args.slow_query_ms >= 0.0 && args.slow_log_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--slow-query-ms needs --slow-log=FILE to write the records to"));
+  }
+  options.slow_query_ms = args.slow_query_ms;
+  options.slow_log_path = args.slow_log_path;
+  options.slow_log_sample_every = args.slow_log_sample;
   hcd::server::QueryServer server(&live.manager(), options);
   s = server.Start();
   if (!s.ok()) return Fail(s);
@@ -1369,6 +1589,9 @@ int CmdServe(const CliArgs& args) {
   if (snapshot_flat != nullptr) {
     hierarchy_note +=
         std::string(", snapshot ") + hcd::SnapshotModeName(serve_mode);
+  }
+  if (!args.slow_log_path.empty()) {
+    hierarchy_note += ", slow log " + args.slow_log_path;
   }
   std::printf("serving %s on 127.0.0.1:%u (%d workers, cache %s%s)\n",
               args.pos[0].c_str(), server.port(), server.workers(),
@@ -1384,19 +1607,32 @@ int CmdServe(const CliArgs& args) {
   server.Stop();
 
   const hcd::server::ServerStats stats = server.stats();
+  const hcd::server::SlowQueryLog* slow_log = server.slow_log();
   if (args.json) {
+    std::string slow_extra;
+    if (slow_log != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"slow_log\":{\"written\":%llu,\"dropped\":%llu}",
+                    static_cast<unsigned long long>(slow_log->written()),
+                    static_cast<unsigned long long>(slow_log->dropped()));
+      slow_extra = buf;
+    }
     std::printf(
         "{\"command\":\"serve\",\"port\":%u,\"workers\":%d,"
         "\"result\":{\"requests\":%llu,\"cache_hits\":%llu,"
-        "\"metrics_requests\":%llu,\"bad_requests\":%llu,\"shed\":%llu,"
-        "\"connections\":%llu}}\n",
+        "\"metrics_requests\":%llu,\"stats_requests\":%llu,"
+        "\"bad_requests\":%llu,\"shed\":%llu,"
+        "\"connections\":%llu%s}}\n",
         server.port(), server.workers(),
         static_cast<unsigned long long>(stats.requests),
         static_cast<unsigned long long>(stats.cache_hits),
         static_cast<unsigned long long>(stats.metrics_requests),
+        static_cast<unsigned long long>(stats.stats_requests),
         static_cast<unsigned long long>(stats.bad_requests),
         static_cast<unsigned long long>(stats.shed),
-        static_cast<unsigned long long>(stats.connections));
+        static_cast<unsigned long long>(stats.connections),
+        slow_extra.c_str());
     return 0;
   }
   std::printf("served %llu queries (%llu cache hits) over %llu connections; "
@@ -1406,6 +1642,11 @@ int CmdServe(const CliArgs& args) {
               static_cast<unsigned long long>(stats.connections),
               static_cast<unsigned long long>(stats.shed),
               static_cast<unsigned long long>(stats.bad_requests));
+  if (slow_log != nullptr) {
+    std::printf("slow log: %llu records written, %llu dropped\n",
+                static_cast<unsigned long long>(slow_log->written()),
+                static_cast<unsigned long long>(slow_log->dropped()));
+  }
   return 0;
 }
 
@@ -1547,6 +1788,17 @@ int CmdServeBench(const CliArgs& args) {
     if (rc != 0) return rc;
   }
 
+  // --server-phase-report: one kStats fetch after the run, so the
+  // server-side queue/decode/cache/search/encode attribution can be read
+  // next to the client-observed tail.
+  std::string server_stats_json;
+  if (args.server_phase_report) {
+    hcd::server::QueryClient client;
+    Status s = client.Connect(host, port);
+    if (s.ok()) s = client.FetchStats(&server_stats_json);
+    if (!s.ok()) return Fail(s);
+  }
+
   hcd::bench::ReportBaseline(
       "serve_bench", dataset, connections, wall,
       {{"qps", qps},
@@ -1568,6 +1820,9 @@ int CmdServeBench(const CliArgs& args) {
                     static_cast<unsigned long long>(stats.cache_hits),
                     static_cast<unsigned long long>(stats.shed));
       server_extra = buf;
+    }
+    if (!server_stats_json.empty()) {
+      server_extra += ",\"server_stats\":" + server_stats_json;
     }
     std::printf(
         "{\"command\":\"serve-bench\",\"connections\":%d,\"pipeline\":%d,"
@@ -1591,6 +1846,24 @@ int CmdServeBench(const CliArgs& args) {
   std::printf("cache hit rate %.1f%% (%llu/%llu)\n", hit_rate * 100.0,
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(served));
+  if (!server_stats_json.empty()) {
+    const size_t total_pos = server_stats_json.find("\"total\":{");
+    std::printf("server phase attribution (lifetime, us; client p99 was "
+                "%.1f us including the wire):\n",
+                latencies.P99() * 1e6);
+    std::printf("  %-8s %10s %10s %10s %10s %12s\n", "phase", "mean", "p50",
+                "p95", "p99", "count");
+    PrintQuantileRow(server_stats_json, "latency",
+                     server_stats_json.find("\"latency_us\":", total_pos));
+    const size_t phases_pos =
+        server_stats_json.find("\"phases_us\":{", total_pos);
+    for (const char* phase :
+         {"queue", "decode", "cache", "search", "encode"}) {
+      const std::string needle = std::string("\"") + phase + "\":{";
+      PrintQuantileRow(server_stats_json, phase,
+                       server_stats_json.find(needle, phases_pos));
+    }
+  }
   return 0;
 }
 
@@ -1642,6 +1915,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: flag '%s' is only valid for serve or serve-bench\n",
                  args.server_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "serve-bench" && cmd != "stats" && !args.connect_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: flag '%s' is only valid for serve-bench or stats\n",
+                 args.connect_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "serve" && !args.serve_only_flag.empty()) {
+    std::fprintf(stderr, "error: flag '%s' is only valid for serve\n",
+                 args.serve_only_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "stats" && !args.stats_flag.empty()) {
+    std::fprintf(stderr, "error: flag '%s' is only valid for stats\n",
+                 args.stats_flag.c_str());
+    return Usage();
+  }
+  if (cmd != "serve-bench" && !args.bench_only_flag.empty()) {
+    std::fprintf(stderr, "error: flag '%s' is only valid for serve-bench\n",
+                 args.bench_only_flag.c_str());
     return Usage();
   }
   if (cmd != "build" && cmd != "export" && cmd != "query-bench" &&
